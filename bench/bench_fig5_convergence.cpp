@@ -1,0 +1,43 @@
+// Figure 5 — global-placement convergence.
+//
+// Per-outer-iteration series of smoothed-density overflow and HPWL at the
+// finest level, for the baseline and the routability-driven placer (whose
+// curve shows the characteristic overflow bumps at each inflation round).
+// Printed as aligned columns, one series per flow — the data behind the
+// paper's convergence plot.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rp;
+  using namespace rp::bench;
+  Logger::set_level(LogLevel::Warn);
+  banner("Fig. 5", "GP convergence: overflow & HPWL vs outer iteration");
+
+  BenchmarkSpec spec = suite()[2];  // medium hierarchical
+
+  for (const bool routability : {false, true}) {
+    FlowOptions opt = routability ? routability_driven_options()
+                                  : wirelength_driven_options();
+    opt.skip_dp = true;
+    opt.skip_eval = true;
+    Design d = generate_benchmark(spec);
+    PlacementFlow flow(opt);
+    const FlowResult r = flow.run(d);
+
+    std::printf("\n# series: %s\n", routability ? "routability-driven" : "wl-driven");
+    std::printf("%6s %8s %12s %10s %10s %10s\n", "step", "level", "hpwl", "overflow",
+                "lambda", "inflation");
+    int step = 0;
+    for (const GpTracePoint& p : r.gp_trace) {
+      char level[32];
+      if (p.level >= 0) std::snprintf(level, sizeof level, "L%d", p.level);
+      else std::snprintf(level, sizeof level, "infl#%d", -p.level);
+      std::printf("%6d %8s %12.4e %10.4f %10.2e %10.3f\n", step++, level, p.hpwl,
+                  p.overflow, p.lambda, p.inflation);
+    }
+  }
+  return 0;
+}

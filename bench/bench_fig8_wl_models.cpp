@@ -1,0 +1,89 @@
+// Figure 8 — wirelength-model study (WA vs LSE).
+//
+// Two parts:
+//  (a) accuracy: |model − HPWL| / HPWL for WA and LSE across a γ sweep on
+//      random netlists (WA must sit strictly below LSE at every γ — the
+//      paper-series' theoretical claim);
+//  (b) speed: google-benchmark timings of a full model+gradient evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "gen/generator.hpp"
+#include "model/wirelength.hpp"
+#include "util/logger.hpp"
+
+namespace {
+
+rp::PlaceProblem bench_problem() {
+  rp::Logger::set_level(rp::LogLevel::Error);
+  rp::BenchmarkSpec spec = rp::small_spec(88);
+  spec.num_std_cells = 4000;
+  const rp::Design d = rp::generate_benchmark(spec);
+  return rp::make_problem(d);
+}
+
+void accuracy_table() {
+  using namespace rp;
+  const PlaceProblem p = bench_problem();
+  const double hp = p.hpwl();
+  std::printf("\n(a) model error vs gamma (relative to HPWL %.4e, %d nets)\n", hp,
+              p.num_nets());
+  std::printf("%10s %14s %14s %10s\n", "gamma", "LSE err", "WA err", "WA/LSE");
+  for (const double frac : {0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double gamma = frac * 9.0;  // in row heights
+    LseWirelength lse(gamma);
+    WaWirelength wa(gamma);
+    const double le = std::abs(lse.value(p) - hp) / hp;
+    const double we = std::abs(wa.value(p) - hp) / hp;
+    std::printf("%10.2f %13.4f%% %13.4f%% %10.3f\n", gamma, 100 * le, 100 * we,
+                le > 0 ? we / le : 0.0);
+  }
+  std::printf("\n(b) evaluation speed (google-benchmark)\n");
+}
+
+void BM_LseEval(benchmark::State& state) {
+  static const rp::PlaceProblem p = bench_problem();
+  rp::LseWirelength lse(9.0);
+  std::vector<double> gx(p.nodes.size()), gy(p.nodes.size());
+  for (auto _ : state) {
+    std::fill(gx.begin(), gx.end(), 0.0);
+    std::fill(gy.begin(), gy.end(), 0.0);
+    benchmark::DoNotOptimize(lse.eval(p, gx, gy));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(p.pins.size()));
+}
+BENCHMARK(BM_LseEval);
+
+void BM_WaEval(benchmark::State& state) {
+  static const rp::PlaceProblem p = bench_problem();
+  rp::WaWirelength wa(9.0);
+  std::vector<double> gx(p.nodes.size()), gy(p.nodes.size());
+  for (auto _ : state) {
+    std::fill(gx.begin(), gx.end(), 0.0);
+    std::fill(gy.begin(), gy.end(), 0.0);
+    benchmark::DoNotOptimize(wa.eval(p, gx, gy));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(p.pins.size()));
+}
+BENCHMARK(BM_WaEval);
+
+void BM_ExactHpwl(benchmark::State& state) {
+  static const rp::PlaceProblem p = bench_problem();
+  for (auto _ : state) benchmark::DoNotOptimize(p.hpwl());
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(p.pins.size()));
+}
+BENCHMARK(BM_ExactHpwl);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==============================================================\n");
+  std::printf("Fig. 8 — wirelength models: WA vs LSE accuracy & speed\n");
+  std::printf("==============================================================\n");
+  accuracy_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

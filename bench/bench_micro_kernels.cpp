@@ -1,0 +1,130 @@
+// Micro-benchmarks of the flow's hot kernels: bell-shaped density
+// evaluation, the probabilistic congestion estimator, the global router,
+// legalization, and the hierarchy-aware clustering pass. These back the
+// runtime-breakdown discussion and guard against performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/multilevel.hpp"
+#include "gen/generator.hpp"
+#include "legal/legalizer.hpp"
+#include "legal/macro_legalizer.hpp"
+#include "model/density.hpp"
+#include "route/estimator.hpp"
+#include "route/router.hpp"
+#include "util/logger.hpp"
+
+namespace {
+
+const rp::Design& bench_design() {
+  static const rp::Design d = [] {
+    rp::Logger::set_level(rp::LogLevel::Error);
+    return rp::generate_benchmark(rp::small_spec(99));
+  }();
+  return d;
+}
+
+void BM_DensityEval(benchmark::State& state) {
+  using namespace rp;
+  PlaceProblem p = make_problem(bench_design());
+  DensityConfig cfg;
+  DensityModel dm(p, cfg);
+  std::vector<double> gx(p.nodes.size()), gy(p.nodes.size());
+  for (auto _ : state) {
+    std::fill(gx.begin(), gx.end(), 0.0);
+    std::fill(gy.begin(), gy.end(), 0.0);
+    benchmark::DoNotOptimize(dm.eval(p, gx, gy));
+  }
+  state.SetItemsProcessed(state.iterations() * p.num_nodes());
+}
+BENCHMARK(BM_DensityEval);
+
+void BM_DensityOverflow(benchmark::State& state) {
+  using namespace rp;
+  PlaceProblem p = make_problem(bench_design());
+  DensityConfig cfg;
+  DensityModel dm(p, cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(dm.overflow(p));
+  state.SetItemsProcessed(state.iterations() * p.num_nodes());
+}
+BENCHMARK(BM_DensityOverflow);
+
+void BM_ProbabilisticEstimate(benchmark::State& state) {
+  using namespace rp;
+  const Design& d = bench_design();
+  RoutingGrid grid(d, true);
+  for (auto _ : state) {
+    estimate_probabilistic(d, grid);
+    benchmark::DoNotOptimize(grid.total_overflow());
+  }
+  state.SetItemsProcessed(state.iterations() * d.num_nets());
+}
+BENCHMARK(BM_ProbabilisticEstimate);
+
+void BM_RudyMap(benchmark::State& state) {
+  using namespace rp;
+  const Design& d = bench_design();
+  const GridMap map(d.die(), 64, 64);
+  for (auto _ : state) benchmark::DoNotOptimize(rudy_map(d, map));
+  state.SetItemsProcessed(state.iterations() * d.num_nets());
+}
+BENCHMARK(BM_RudyMap);
+
+void BM_GlobalRoute(benchmark::State& state) {
+  using namespace rp;
+  const Design& d = bench_design();
+  for (auto _ : state) {
+    RoutingGrid grid(d, true);
+    GlobalRouter router(grid);
+    benchmark::DoNotOptimize(router.route(d));
+  }
+  state.SetItemsProcessed(state.iterations() * d.num_nets());
+}
+BENCHMARK(BM_GlobalRoute);
+
+void BM_AbacusLegalize(benchmark::State& state) {
+  using namespace rp;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Design d = generate_benchmark(small_spec(99));
+    legalize_macros(d);
+    freeze_macros(d);
+    state.ResumeTiming();
+    AbacusLegalizer lg;
+    benchmark::DoNotOptimize(lg.run(d));
+  }
+  state.SetItemsProcessed(state.iterations() * bench_design().num_movable());
+}
+BENCHMARK(BM_AbacusLegalize)->Unit(benchmark::kMillisecond);
+
+void BM_TetrisLegalize(benchmark::State& state) {
+  using namespace rp;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Design d = generate_benchmark(small_spec(99));
+    legalize_macros(d);
+    freeze_macros(d);
+    state.ResumeTiming();
+    TetrisLegalizer lg;
+    benchmark::DoNotOptimize(lg.run(d));
+  }
+  state.SetItemsProcessed(state.iterations() * bench_design().num_movable());
+}
+BENCHMARK(BM_TetrisLegalize)->Unit(benchmark::kMillisecond);
+
+void BM_ClusteringPass(benchmark::State& state) {
+  using namespace rp;
+  const Design& d = bench_design();
+  ClusterOptions opt;
+  opt.target_nodes = 200;
+  for (auto _ : state) {
+    Multilevel ml(d, opt);
+    benchmark::DoNotOptimize(ml.num_levels());
+  }
+  state.SetItemsProcessed(state.iterations() * d.num_cells());
+}
+BENCHMARK(BM_ClusteringPass)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

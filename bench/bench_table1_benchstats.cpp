@@ -1,0 +1,35 @@
+// Table 1 — benchmark statistics.
+//
+// The paper-style table describing the evaluation suite: cells, nets, pins,
+// macros (movable/fixed), utilization, hierarchy depth, and routing supply.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace rp;
+  using namespace rp::bench;
+  Logger::set_level(LogLevel::Warn);
+  banner("Table 1", "benchmark statistics");
+
+  TableWriter t({"bench", "#cells", "#nets", "#pins", "#macros", "fixed", "util%",
+                 "hier depth", "grid", "h/v cap"});
+  for (const BenchmarkSpec& spec : suite()) {
+    const Design d = generate_benchmark(spec);
+    int fixed_macros = 0;
+    for (CellId c = 0; c < d.num_cells(); ++c)
+      if (d.cell(c).is_macro() && d.cell(c).fixed) ++fixed_macros;
+    const RouteGridInfo& rg = d.route_grid();
+    t.row({spec.name, std::to_string(d.num_cells()), std::to_string(d.num_nets()),
+           std::to_string(d.num_pins()), std::to_string(d.num_macros()),
+           std::to_string(fixed_macros), TableWriter::num(100 * d.utilization(), 1),
+           std::to_string(d.hierarchy().max_depth()),
+           std::to_string(rg.nx) + "x" + std::to_string(rg.ny),
+           TableWriter::num(rg.h_capacity, 0) + "/" + TableWriter::num(rg.v_capacity, 0)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  return 0;
+}

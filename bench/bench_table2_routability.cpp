@@ -1,0 +1,54 @@
+// Table 2 — the MAIN RESULT: routability comparison.
+//
+// For every suite benchmark, the wirelength-driven baseline and the
+// routability-driven placer are run on the identical instance; the global
+// router then scores both. Reported per design: total routing overflow
+// (tracks), overflowed edges, peak edge utilization, ACE-based RC, and the
+// contest's scaled HPWL. Footer: geometric-mean ratios (routability /
+// baseline) — the paper's summary numbers.
+//
+// Expected shape: the routability-driven flow cuts overflow by a large
+// factor and pushes RC toward 100, for a few percent of HPWL.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace rp;
+  using namespace rp::bench;
+  Logger::set_level(LogLevel::Warn);
+  banner("Table 2", "routability: WL-driven baseline vs routability-driven placer");
+
+  TableWriter t({"bench", "flow", "overflow", "ovfl edges", "peak util", "RC",
+                 "HPWL", "scaled HPWL"});
+  std::vector<double> r_ovfl, r_rc, r_hpwl, r_scaled;
+  for (const BenchmarkSpec& spec : suite()) {
+    const FlowRun base = run_flow(spec, "baseline", wirelength_driven_options());
+    const FlowRun rdp = run_flow(spec, "routability", routability_driven_options());
+    for (const FlowRun* r : {&base, &rdp}) {
+      const EvalResult& e = r->result.eval;
+      t.row({r->bench, r->flow, TableWriter::num(e.congestion.total_overflow, 0),
+             std::to_string(e.congestion.overflowed_edges),
+             TableWriter::num(e.congestion.peak_utilization, 2),
+             TableWriter::num(e.congestion.rc, 1), TableWriter::eng(e.hpwl),
+             TableWriter::eng(e.scaled_hpwl)});
+    }
+    const EvalResult& eb = base.result.eval;
+    const EvalResult& er = rdp.result.eval;
+    if (eb.congestion.total_overflow > 0)
+      r_ovfl.push_back((er.congestion.total_overflow + 1.0) /
+                       (eb.congestion.total_overflow + 1.0));
+    r_rc.push_back(er.congestion.rc / eb.congestion.rc);
+    r_hpwl.push_back(er.hpwl / eb.hpwl);
+    r_scaled.push_back(er.scaled_hpwl / eb.scaled_hpwl);
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::printf("\ngeomean ratios (routability / baseline):\n");
+  std::printf("  overflow    : %.3f\n", geomean(r_ovfl));
+  std::printf("  RC          : %.3f\n", geomean(r_rc));
+  std::printf("  HPWL        : %.3f\n", geomean(r_hpwl));
+  std::printf("  scaled HPWL : %.3f\n", geomean(r_scaled));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 3 — HPWL, routed wirelength, legality and runtime breakdown.
+//
+// Same two flows as Table 2, reported from the wirelength/runtime angle:
+// HPWL after each stage would be overkill, so the table shows final HPWL,
+// routed WL, legalization displacement, and the per-stage runtime split
+// (GP / macro legal / legal / DP / eval) that the paper-series reports.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace rp;
+  using namespace rp::bench;
+  Logger::set_level(LogLevel::Warn);
+  banner("Table 3", "HPWL, routed WL & runtime breakdown");
+
+  TableWriter t({"bench", "flow", "HPWL", "routedWL", "avg disp", "legal", "GP s",
+                 "legal s", "DP s", "eval s", "total s"});
+  std::vector<double> hpwl_ratio, time_ratio;
+  for (const BenchmarkSpec& spec : suite()) {
+    const FlowRun base = run_flow(spec, "baseline", wirelength_driven_options());
+    const FlowRun rdp = run_flow(spec, "routability", routability_driven_options());
+    for (const FlowRun* r : {&base, &rdp}) {
+      const FlowResult& fr = r->result;
+      t.row({r->bench, r->flow, TableWriter::eng(fr.eval.hpwl),
+             TableWriter::eng(fr.eval.route.wirelength),
+             TableWriter::num(fr.legal.avg_disp(), 2),
+             fr.eval.legality.ok() ? "yes" : "NO",
+             TableWriter::num(fr.times.get("global"), 1),
+             TableWriter::num(fr.times.get("macro_legal") + fr.times.get("legal"), 2),
+             TableWriter::num(fr.times.get("detailed"), 2),
+             TableWriter::num(fr.times.get("eval"), 2),
+             TableWriter::num(fr.times.total(), 1)});
+    }
+    hpwl_ratio.push_back(rdp.result.eval.hpwl / base.result.eval.hpwl);
+    time_ratio.push_back(rdp.result.times.total() / base.result.times.total());
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::printf("\ngeomean ratios (routability / baseline): HPWL %.3f, runtime %.2fx\n",
+              geomean(hpwl_ratio), geomean(time_ratio));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 4 — ablation of the routability-driven flow's design choices.
+//
+// On the medium hierarchical benchmark, each routability lever is disabled
+// in turn: cell inflation, narrow-channel derating, congestion-aware
+// detailed placement, hierarchy-aware clustering, and the WA wirelength
+// model (replaced by LSE). Shows what each contributes to the final
+// overflow / RC / scaled HPWL.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace rp;
+  using namespace rp::bench;
+  Logger::set_level(LogLevel::Warn);
+  banner("Table 4", "ablation of routability & hierarchy features");
+
+  // Medium hierarchical entry by default; RP_ABLATE_INDEX overrides (used
+  // for debugging individual suite entries).
+  std::size_t index = 2;
+  if (const char* e = std::getenv("RP_ABLATE_INDEX")) index = std::strtoul(e, nullptr, 10);
+  BenchmarkSpec spec = suite()[index];
+
+  struct Variant {
+    const char* name;
+    FlowOptions opt;
+  };
+  std::vector<Variant> variants;
+  {
+    variants.push_back({"full (paper)", routability_driven_options()});
+
+    FlowOptions no_infl = routability_driven_options();
+    no_infl.gp.routability.cell_inflation = false;
+    variants.push_back({"- cell inflation", no_infl});
+
+    FlowOptions no_chan = routability_driven_options();
+    no_chan.gp.routability.narrow_channels = false;
+    variants.push_back({"- narrow channels", no_chan});
+
+    FlowOptions no_cdp = routability_driven_options();
+    no_cdp.congestion_aware_dp = false;
+    variants.push_back({"- congestion-aware DP", no_cdp});
+
+    FlowOptions no_hier = routability_driven_options();
+    no_hier.gp.cluster.use_hierarchy = false;
+    variants.push_back({"- hierarchy clustering", no_hier});
+
+    FlowOptions lse = routability_driven_options();
+    lse.gp.wl_model = "LSE";
+    variants.push_back({"WA -> LSE model", lse});
+
+    variants.push_back({"baseline (all off)", wirelength_driven_options()});
+  }
+
+  TableWriter t({"variant", "overflow", "RC", "HPWL", "scaled HPWL", "GP s"});
+  for (const Variant& v : variants) {
+    const FlowRun r = run_flow(spec, v.name, v.opt);
+    const EvalResult& e = r.result.eval;
+    t.row({v.name, TableWriter::num(e.congestion.total_overflow, 0),
+           TableWriter::num(e.congestion.rc, 1), TableWriter::eng(e.hpwl),
+           TableWriter::eng(e.scaled_hpwl),
+           TableWriter::num(r.result.times.get("global"), 1)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "core/channels.hpp"
+
+#include <algorithm>
+
+namespace rp {
+
+Grid2D<double> narrow_channel_capacity_scale(const Design& d, const GridMap& bins,
+                                             double max_channel_width, double scale) {
+  const int nx = bins.nx(), ny = bins.ny();
+  // Blockage mask: a bin counts as blocked when macros cover most of it.
+  Grid2D<double> cover(nx, ny, 0.0);
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    const Cell& k = d.cell(c);
+    // Fixed macros block; so do large fixed blockages (multi-row terminals).
+    const bool macro_like =
+        k.is_macro() || (k.kind == CellKind::Terminal && k.h > 2 * d.row_height());
+    if (!k.fixed || !macro_like) continue;
+    bins.rasterize(d.cell_rect(c), [&](int ix, int iy, double a) { cover(ix, iy) += a; });
+  }
+  Grid2D<char> blocked(nx, ny, 0);
+  for (int iy = 0; iy < ny; ++iy)
+    for (int ix = 0; ix < nx; ++ix)
+      blocked(ix, iy) = cover(ix, iy) > 0.5 * bins.bin_area() ? 1 : 0;
+
+  Grid2D<double> out(nx, ny, 1.0);
+  const int max_run_x = std::max(1, static_cast<int>(max_channel_width / bins.bin_w()));
+  const int max_run_y = std::max(1, static_cast<int>(max_channel_width / bins.bin_h()));
+
+  // Horizontal scan: free runs bounded by blockage on BOTH sides (a run
+  // touching the die edge only counts if the other side is a macro).
+  for (int iy = 0; iy < ny; ++iy) {
+    int run_start = 0;
+    for (int ix = 0; ix <= nx; ++ix) {
+      const bool blk = ix == nx || blocked(ix, iy);
+      if (!blk) continue;
+      const int run_len = ix - run_start;
+      // A corridor needs a macro on at least one side (a run bounded only by
+      // the two die edges is the whole row, not a channel).
+      const bool left_macro = run_start > 0;
+      const bool right_macro = ix < nx;
+      if (run_len > 0 && run_len <= max_run_x && (left_macro || right_macro)) {
+        for (int k = run_start; k < ix; ++k)
+          out(k, iy) = std::min(out(k, iy), scale);
+      }
+      run_start = ix + 1;
+    }
+  }
+  // Vertical scan.
+  for (int ix = 0; ix < nx; ++ix) {
+    int run_start = 0;
+    for (int iy = 0; iy <= ny; ++iy) {
+      const bool blk = iy == ny || blocked(ix, iy);
+      if (!blk) continue;
+      const int run_len = iy - run_start;
+      const bool bottom_macro = run_start > 0;
+      const bool top_macro = iy < ny;
+      if (run_len > 0 && run_len <= max_run_y && (bottom_macro || top_macro)) {
+        for (int k = run_start; k < iy; ++k)
+          out(ix, k) = std::min(out(ix, k), scale);
+      }
+      run_start = iy + 1;
+    }
+  }
+  return out;
+}
+
+int count_channel_bins(const Grid2D<double>& scale_map) {
+  int n = 0;
+  for (const double v : scale_map.data())
+    if (v < 1.0) ++n;
+  return n;
+}
+
+}  // namespace rp

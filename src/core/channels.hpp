@@ -1,0 +1,26 @@
+#pragma once
+// Narrow-channel handling (routability lever #2).
+//
+// Corridors between macros (or between a macro and the die edge) that are
+// narrower than a threshold own almost no routing capacity — wires must go
+// over the macros at reduced track supply — yet the density force happily
+// packs standard cells into them. This pass finds such channels on the
+// density-bin grid and returns a per-bin capacity-scale map (1.0 = normal,
+// `scale` inside a narrow channel) to feed DensityModel::apply_capacity_scale.
+
+#include "db/design.hpp"
+#include "util/grid.hpp"
+
+namespace rp {
+
+/// Per-bin scale factor in (0, 1]: bins lying in a free corridor narrower
+/// than `max_channel_width` (die units) between macro blockages get `scale`.
+/// The blockage mask is built from FIXED macros/blockages at current
+/// positions.
+Grid2D<double> narrow_channel_capacity_scale(const Design& d, const GridMap& bins,
+                                             double max_channel_width, double scale);
+
+/// Number of bins marked as narrow channel by the map above (diagnostics).
+int count_channel_bins(const Grid2D<double>& scale_map);
+
+}  // namespace rp

@@ -1,0 +1,128 @@
+#include "core/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "db/bookshelf.hpp"
+#include "gen/generator.hpp"
+#include "util/logger.hpp"
+#include "util/str.hpp"
+
+namespace rp {
+
+std::string cli_usage() {
+  return
+      "routplace — routability-driven placement for hierarchical mixed-size designs\n"
+      "\n"
+      "usage: routplace [options]\n"
+      "\n"
+      "input (choose one):\n"
+      "  --aux <file.aux>        Bookshelf benchmark to place\n"
+      "  --gen <n>               generate a synthetic benchmark with n std cells\n"
+      "      --seed <s>          generator seed (default 1)\n"
+      "      --supply <f>        generator track supply (default 1.0)\n"
+      "\n"
+      "flow:\n"
+      "  --mode <m>              routability (default) | wirelength\n"
+      "  --legalizer <l>         abacus (default) | tetris\n"
+      "  --density <f>           target placement density (default 1.0)\n"
+      "  --rounds <n>            routability (inflation) rounds (default 3)\n"
+      "  --skip-dp               skip detailed placement\n"
+      "\n"
+      "output:\n"
+      "  --out <file.pl>         placement output (default <design>.rp.pl)\n"
+      "  --map                   print the routed-congestion ASCII map\n"
+      "  --verbose               per-iteration placer logging\n"
+      "  --help                  this text\n";
+}
+
+CliConfig parse_cli_args(const std::vector<std::string>& args) {
+  CliConfig cfg;
+  const auto need_value = [&](std::size_t i, const std::string& opt) {
+    if (i + 1 >= args.size())
+      throw std::runtime_error("option '" + opt + "' needs a value");
+    return args[i + 1];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--aux") cfg.aux = need_value(i++, a);
+    else if (a == "--out") cfg.out_pl = need_value(i++, a);
+    else if (a == "--mode") cfg.mode = need_value(i++, a);
+    else if (a == "--legalizer") cfg.legalizer = need_value(i++, a);
+    else if (a == "--gen") cfg.gen_cells = static_cast<int>(to_long(need_value(i++, a)));
+    else if (a == "--seed") cfg.seed = static_cast<std::uint64_t>(to_long(need_value(i++, a)));
+    else if (a == "--supply") cfg.track_supply = to_double(need_value(i++, a));
+    else if (a == "--density") cfg.target_density = to_double(need_value(i++, a));
+    else if (a == "--rounds") cfg.routability_rounds = static_cast<int>(to_long(need_value(i++, a)));
+    else if (a == "--skip-dp") cfg.skip_dp = true;
+    else if (a == "--map") cfg.show_map = true;
+    else if (a == "--verbose") cfg.verbose = true;
+    else if (a == "--help" || a == "-h") cfg.help = true;
+    else throw std::runtime_error("unknown option '" + a + "' (see --help)");
+  }
+  if (cfg.mode != "routability" && cfg.mode != "wirelength")
+    throw std::runtime_error("--mode must be 'routability' or 'wirelength'");
+  if (cfg.legalizer != "abacus" && cfg.legalizer != "tetris")
+    throw std::runtime_error("--legalizer must be 'abacus' or 'tetris'");
+  if (cfg.target_density <= 0 || cfg.target_density > 1.0)
+    throw std::runtime_error("--density must be in (0, 1]");
+  if (cfg.routability_rounds < 0)
+    throw std::runtime_error("--rounds must be >= 0");
+  return cfg;
+}
+
+FlowOptions cli_flow_options(const CliConfig& cfg) {
+  FlowOptions opt = cfg.mode == "routability" ? routability_driven_options()
+                                              : wirelength_driven_options();
+  opt.legalizer = cfg.legalizer;
+  opt.gp.target_density = cfg.target_density;
+  opt.gp.routability.rounds = cfg.routability_rounds;
+  opt.gp.verbose = cfg.verbose;
+  opt.skip_dp = cfg.skip_dp;
+  return opt;
+}
+
+int run_cli(const CliConfig& cfg) {
+  if (cfg.help) {
+    std::fputs(cli_usage().c_str(), stdout);
+    return 0;
+  }
+  Logger::set_level(cfg.verbose ? LogLevel::Debug : LogLevel::Info);
+
+  Design d;
+  if (!cfg.aux.empty()) {
+    d = read_bookshelf(cfg.aux);
+  } else {
+    BenchmarkSpec spec = small_spec(cfg.seed);
+    spec.num_std_cells = cfg.gen_cells;
+    spec.track_supply = cfg.track_supply;
+    spec.name = "gen" + std::to_string(cfg.gen_cells);
+    d = generate_benchmark(spec);
+  }
+
+  PlacementFlow flow(cli_flow_options(cfg));
+  const FlowResult r = flow.run(d);
+
+  const std::string out = cfg.out_pl.empty() ? d.name() + ".rp.pl" : cfg.out_pl;
+  write_pl(d, out);
+
+  std::printf("\n%s placement of '%s'\n", cfg.mode.c_str(), d.name().c_str());
+  std::printf("  HPWL         %.4e\n", r.eval.hpwl);
+  std::printf("  scaled HPWL  %.4e\n", r.eval.scaled_hpwl);
+  std::printf("  RC           %.1f (ACE %.1f/%.1f/%.1f/%.1f)\n", r.eval.congestion.rc,
+              r.eval.congestion.ace_005, r.eval.congestion.ace_1, r.eval.congestion.ace_2,
+              r.eval.congestion.ace_5);
+  std::printf("  overflow     %.0f tracks / %d edges, peak %.2f\n",
+              r.eval.congestion.total_overflow, r.eval.congestion.overflowed_edges,
+              r.eval.congestion.peak_utilization);
+  std::printf("  legal        %s\n", r.eval.legality.ok() ? "yes" : "NO");
+  std::printf("  runtime      %s\n", r.times.report().c_str());
+  std::printf("  solution     %s\n", out.c_str());
+  if (cfg.show_map) {
+    std::printf("\nrouted congestion ('#'>105%%, '+'>95%%, ':'>80%%, 'M' macro):\n%s",
+                congestion_ascii(d, 64).c_str());
+  }
+  return r.eval.legality.ok() ? 0 : 1;
+}
+
+}  // namespace rp

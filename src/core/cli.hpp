@@ -1,0 +1,47 @@
+#pragma once
+// Command-line driver shared by the `routplace` tool.
+//
+// Kept in the library (rather than the tool's main.cpp) so the argument
+// handling is unit-testable: parse_cli_args() maps argv to a CliConfig, and
+// run_cli() executes the full flow against Bookshelf or generated input.
+
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace rp {
+
+struct CliConfig {
+  std::string aux;           ///< Input .aux (Bookshelf). Empty: use generator.
+  std::string out_pl;        ///< Output placement file (empty: <design>.rp.pl).
+  std::string mode = "routability";  ///< "routability" | "wirelength".
+  std::string legalizer = "abacus";  ///< "abacus" | "tetris".
+  // Generator fallback when no .aux is given:
+  int gen_cells = 2000;
+  std::uint64_t seed = 1;
+  double track_supply = 1.0;
+  // Common knobs:
+  double target_density = 1.0;
+  int routability_rounds = 3;
+  bool skip_dp = false;
+  bool verbose = false;
+  bool show_map = false;     ///< Print the ASCII congestion map at the end.
+  bool help = false;
+};
+
+/// Parse argv (excluding argv[0]). Throws std::runtime_error on unknown or
+/// malformed options.
+CliConfig parse_cli_args(const std::vector<std::string>& args);
+
+/// Usage text.
+std::string cli_usage();
+
+/// Build FlowOptions from a parsed config.
+FlowOptions cli_flow_options(const CliConfig& cfg);
+
+/// Execute: load/generate, place, report, write the .pl.
+/// Returns a process exit code (0 = legal placement produced).
+int run_cli(const CliConfig& cfg);
+
+}  // namespace rp

@@ -1,0 +1,91 @@
+#include "core/flow.hpp"
+
+#include <stdexcept>
+
+#include "route/estimator.hpp"
+#include "util/logger.hpp"
+
+namespace rp {
+
+FlowOptions routability_driven_options() {
+  FlowOptions o;
+  o.gp.routability.enable = true;
+  o.congestion_aware_dp = true;
+  return o;
+}
+
+FlowOptions wirelength_driven_options() {
+  FlowOptions o;
+  o.gp.routability.enable = false;
+  o.congestion_aware_dp = false;
+  return o;
+}
+
+FlowResult PlacementFlow::run(Design& d) {
+  FlowResult r;
+
+  {
+    ScopedStage t(r.times, "global");
+    GlobalPlacer gp(opt_.gp);
+    r.gp = gp.run(d);
+    r.gp_trace = gp.trace();
+  }
+
+  {
+    ScopedStage t(r.times, "macro_legal");
+    r.macro_legal = legalize_macros(d, opt_.macro_legal);
+    freeze_macros(d);
+  }
+
+  {
+    ScopedStage t(r.times, "legal");
+    LegalizeStats ls;
+    if (opt_.legalizer == "abacus") {
+      AbacusLegalizer lg(opt_.legal);
+      ls = lg.run(d);
+    } else if (opt_.legalizer == "tetris") {
+      TetrisLegalizer lg(opt_.legal);
+      ls = lg.run(d);
+    } else {
+      throw std::runtime_error("unknown legalizer '" + opt_.legalizer + "'");
+    }
+    r.legal = ls;
+    RP_INFO("legalization (%s): %d cells, avg disp %.2f, max %.2f, %d failed",
+            opt_.legalizer.c_str(), ls.cells, ls.avg_disp(), ls.max_disp, ls.failed);
+  }
+
+  if (!opt_.skip_dp) {
+    ScopedStage t(r.times, "detailed");
+    DetailedPlaceOptions dpo = opt_.dp;
+    DetailedPlacer dp(dpo);
+    if (opt_.congestion_aware_dp) {
+      // Feed the DP the post-GP congestion picture.
+      RoutingGrid rg(d, true);
+      estimate_probabilistic(d, rg);
+      double w = opt_.dp_congestion_weight;
+      if (w <= 0.0) w = 2.0 * d.row_height();
+      dpo.congestion_weight = w;
+      DetailedPlacer dp2(dpo);
+      dp2.set_congestion(rg.map(), rg.tile_congestion());
+      r.dp = dp2.run(d);
+    } else {
+      r.dp = dp.run(d);
+    }
+    RP_INFO("detailed placement: hpwl %.4e -> %.4e (%.2f%%), %ld swaps, %ld moves, "
+            "%ld reorders, %ld ism",
+            r.dp.hpwl_before, r.dp.hpwl_after, 100.0 * r.dp.improvement(), r.dp.swaps,
+            r.dp.relocations, r.dp.reorders, r.dp.ism_moves);
+  }
+
+  if (!opt_.skip_eval) {
+    ScopedStage t(r.times, "eval");
+    r.eval = evaluate_placement(d, opt_.eval);
+    RP_INFO("eval: hpwl %.4e scaled %.4e RC %.1f overflow %.0f (%d edges) legal=%s",
+            r.eval.hpwl, r.eval.scaled_hpwl, r.eval.congestion.rc,
+            r.eval.congestion.total_overflow, r.eval.congestion.overflowed_edges,
+            r.eval.legality.ok() ? "yes" : "NO");
+  }
+  return r;
+}
+
+}  // namespace rp

@@ -1,0 +1,69 @@
+#pragma once
+// The complete placement flow — the public top-level API.
+//
+//   Design d = read_bookshelf(...) or generate_benchmark(...);
+//   PlacementFlow flow(routability_driven_options());
+//   FlowResult r = flow.run(d);
+//
+// Stages: multilevel global placement (with the routability loop) → macro
+// legalization & freezing → standard-cell legalization (Abacus or Tetris) →
+// detailed placement (optionally congestion-aware) → evaluation with the
+// global router.
+//
+// `wirelength_driven_options()` is the baseline of the paper's comparisons:
+// identical machinery with every routability feature disabled.
+
+#include <string>
+
+#include "core/global_placer.hpp"
+#include "core/report.hpp"
+#include "dp/detailed.hpp"
+#include "legal/legalizer.hpp"
+#include "legal/macro_legalizer.hpp"
+#include "util/timer.hpp"
+
+namespace rp {
+
+struct FlowOptions {
+  GpOptions gp;
+  MacroLegalizeOptions macro_legal;
+  LegalizeOptions legal;
+  std::string legalizer = "abacus";  ///< "abacus" or "tetris".
+  DetailedPlaceOptions dp;
+  bool congestion_aware_dp = true;   ///< Routability lever #3.
+  double dp_congestion_weight = 0.0; ///< 0 = auto (≈ 2 row heights).
+  EvalOptions eval;
+  bool skip_dp = false;
+  bool skip_eval = false;
+};
+
+/// The paper's configuration (all routability levers on).
+FlowOptions routability_driven_options();
+/// The comparison baseline (identical flow, routability off).
+FlowOptions wirelength_driven_options();
+
+struct FlowResult {
+  GpStats gp;
+  MacroLegalizeStats macro_legal;
+  LegalizeStats legal;
+  DetailedPlaceStats dp;
+  EvalResult eval;
+  StageTimes times;
+  std::vector<GpTracePoint> gp_trace;
+};
+
+class PlacementFlow {
+ public:
+  explicit PlacementFlow(FlowOptions opt = routability_driven_options()) : opt_(opt) {}
+
+  /// Place the design end to end (positions are modified in place; movable
+  /// macros end up fixed).
+  FlowResult run(Design& d);
+
+  const FlowOptions& options() const { return opt_; }
+
+ private:
+  FlowOptions opt_;
+};
+
+}  // namespace rp

@@ -1,0 +1,204 @@
+#include "core/global_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/channels.hpp"
+#include "core/inflation.hpp"
+#include "route/estimator.hpp"
+#include "solver/cg.hpp"
+#include "model/objective.hpp"
+#include "util/logger.hpp"
+#include "util/rng.hpp"
+
+namespace rp {
+
+namespace {
+
+/// Initial coordinates for a level's movable nodes: all gathered at the
+/// centroid of fixed pins (or the die center) with a small deterministic
+/// spread so nets have non-degenerate gradients.
+void initial_positions(PlaceProblem& p, Rng& rng) {
+  double fx = 0.0, fy = 0.0;
+  int nf = 0;
+  for (int v = 0; v < p.num_nodes(); ++v) {
+    if (!p.nodes[static_cast<std::size_t>(v)].fixed) continue;
+    fx += p.x[static_cast<std::size_t>(v)];
+    fy += p.y[static_cast<std::size_t>(v)];
+    ++nf;
+  }
+  Point c = nf > 0 ? Point{fx / nf, fy / nf} : p.die.center();
+  // Keep the start strictly inside the die.
+  c.x = std::clamp(c.x, p.die.lx + 0.3 * p.die.width(), p.die.hx - 0.3 * p.die.width());
+  c.y = std::clamp(c.y, p.die.ly + 0.3 * p.die.height(), p.die.hy - 0.3 * p.die.height());
+  const double rx = 0.12 * p.die.width(), ry = 0.12 * p.die.height();
+  for (int v = 0; v < p.num_nodes(); ++v) {
+    if (p.nodes[static_cast<std::size_t>(v)].fixed) continue;
+    p.x[static_cast<std::size_t>(v)] = c.x + rng.uniform(-rx, rx);
+    p.y[static_cast<std::size_t>(v)] = c.y + rng.uniform(-ry, ry);
+  }
+  p.clamp_to_die();
+}
+
+}  // namespace
+
+GlobalPlacer::LevelResult GlobalPlacer::place_level(PlaceProblem& prob,
+                                                    DensityModel& dens,
+                                                    WirelengthModel& wl,
+                                                    double stop_overflow, int level_tag,
+                                                    double inflation_mean,
+                                                    bool wl_warm_start, double lambda0,
+                                                    int max_outer) {
+  PlacementObjective obj(prob, wl, dens);
+  const double bin_w = dens.grid().bin_w();
+  const double bin_h = dens.grid().bin_h();
+
+  // γ schedule across the outer loop.
+  const double g0 = opt_.gamma_init_bins * std::max(bin_w, bin_h);
+  const double g1 = opt_.gamma_final_bins * std::max(bin_w, bin_h);
+
+  CgOptions cgo;
+  cgo.max_iters = opt_.cg_iters;
+  cgo.trust_radius = opt_.trust_bins * std::max(bin_w, bin_h);
+  cgo.f_rel_tol = 1e-5;
+  cgo.max_backtracks = 4;
+
+  // Wirelength-only warm start (few iterations, λ = 0).
+  if (wl_warm_start) {
+    wl.set_gamma(g0);
+    obj.set_lambda(0.0);
+    std::vector<double> z = obj.pack();
+    CgOptions warm = cgo;
+    warm.max_iters = opt_.cg_iters / 2;
+    minimize_cg([&](std::span<const double> zz, std::span<double> g) {
+      return obj.eval(zz, g);
+    }, z, warm);
+    obj.unpack(z);
+  }
+
+  double lambda = lambda0 > 0 ? lambda0 : 0.3 * obj.balanced_lambda();
+  LevelResult res;
+  std::vector<double> recent;  // overflow history for plateau detection
+  int outer = 0;
+  for (; outer < max_outer; ++outer) {
+    const double t = static_cast<double>(outer) / std::max(1, max_outer - 1);
+    wl.set_gamma(g0 * std::pow(g1 / g0, t));
+    obj.set_lambda(lambda);
+
+    std::vector<double> z = obj.pack();
+    minimize_cg([&](std::span<const double> zz, std::span<double> g) {
+      return obj.eval(zz, g);
+    }, z, cgo);
+    obj.unpack(z);
+
+    const double ovfl = dens.overflow(prob);
+    GpTracePoint tp;
+    tp.level = level_tag;
+    tp.outer = outer;
+    tp.hpwl = prob.hpwl();
+    tp.overflow = ovfl;
+    tp.lambda = lambda;
+    tp.inflation = inflation_mean;
+    trace_.push_back(tp);
+    if (opt_.verbose)
+      RP_INFO("  gp L%d outer %2d: hpwl %.3e overflow %.3f lambda %.2e", level_tag, outer,
+              tp.hpwl, ovfl, lambda);
+    if (ovfl <= stop_overflow) {
+      ++outer;
+      break;
+    }
+    // Plateau: density can no longer improve (e.g. the inflation budget or
+    // channel derating makes the target unreachable) — stop escalating.
+    recent.push_back(ovfl);
+    if (static_cast<int>(recent.size()) > opt_.plateau_window) {
+      const double old = recent[recent.size() - 1 - opt_.plateau_window];
+      if (old - ovfl < opt_.plateau_eps * old) {
+        ++outer;
+        break;
+      }
+    }
+    lambda *= opt_.lambda_mult;
+  }
+  res.outers = outer;
+  res.lambda = lambda;
+  return res;
+}
+
+GpStats GlobalPlacer::run(Design& d) {
+  RP_ASSERT(d.finalized(), "GlobalPlacer needs a finalized design");
+  trace_.clear();
+  GpStats stats;
+  Rng rng(12345);
+
+  Multilevel ml(d, opt_.cluster);
+  stats.levels = ml.num_levels();
+
+  // Coarsest level starts from scratch.
+  initial_positions(ml.level(ml.top()).prob, rng);
+
+  for (int l = ml.top(); l >= 0; --l) {
+    PlaceProblem& prob = ml.level(l).prob;
+    DensityConfig dc;
+    dc.target_density = opt_.target_density;
+    DensityModel dens(prob, dc);
+    auto wl = make_wirelength_model(opt_.wl_model, 1.0);
+
+    const bool finest = l == 0;
+    const double stop = finest ? opt_.stop_overflow : opt_.coarse_overflow;
+
+    // Narrow-channel capacity derating (applies at every level; the channel
+    // map only depends on FIXED macros, which exist at all levels).
+    if (opt_.routability.enable && opt_.routability.narrow_channels) {
+      const Grid2D<double> scale = narrow_channel_capacity_scale(
+          d, dens.grid(), opt_.routability.channel_width_rows * d.row_height(),
+          opt_.routability.channel_capacity_scale);
+      if (count_channel_bins(scale) > 0) dens.apply_capacity_scale(scale);
+    }
+
+    const LevelResult lr =
+        place_level(prob, dens, *wl, stop, l, mean_inflation(prob),
+                    /*wl_warm_start=*/l == ml.top(), /*lambda0=*/0.0, opt_.max_outer);
+    stats.total_outer += lr.outers;
+    double lambda_cont = lr.lambda;
+
+    // Routability loop at the finest level.
+    if (finest && opt_.routability.enable && opt_.routability.cell_inflation) {
+      for (int round = 0; round < opt_.routability.rounds; ++round) {
+        apply_solution(prob, d);
+        RoutingGrid rg(d, /*include_movable_macros=*/true);
+        estimate_probabilistic(d, rg);
+        const InflationResult ir = apply_congestion_inflation(
+            prob, rg, opt_.routability.inflate_rate, opt_.routability.max_inflate,
+            opt_.routability.max_total_inflation);
+        ++stats.inflation_rounds;
+        if (ir.cells_inflated == 0) break;
+        RP_INFO("gp routability round %d: %d cells inflated, mean %.3f", round + 1,
+                ir.cells_inflated, ir.mean_inflation);
+        // Short re-spread with the inflated footprints, continuing from the
+        // reached λ (a full cold escalation would be wasted work).
+        const LevelResult rr = place_level(
+            prob, dens, *wl, stop, /*level_tag=*/-(round + 1), ir.mean_inflation,
+            /*wl_warm_start=*/false, /*lambda0=*/lambda_cont * 0.5, opt_.reheat_outer);
+        stats.total_outer += rr.outers;
+        lambda_cont = rr.lambda;
+      }
+    }
+
+    if (l > 0) ml.project_down(l);
+  }
+
+  apply_solution(ml.level(0).prob, d);
+  stats.final_hpwl = d.hpwl();
+  {
+    DensityConfig dc;
+    dc.target_density = opt_.target_density;
+    DensityModel dens(ml.level(0).prob, dc);
+    stats.final_overflow = dens.overflow(ml.level(0).prob);
+  }
+  stats.mean_inflation = mean_inflation(ml.level(0).prob);
+  RP_INFO("global placement done: hpwl %.4e, overflow %.3f, %d outer iters, %d levels",
+          stats.final_hpwl, stats.final_overflow, stats.total_outer, stats.levels);
+  return stats;
+}
+
+}  // namespace rp

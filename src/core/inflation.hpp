@@ -1,0 +1,33 @@
+#pragma once
+// Congestion-driven cell inflation (routability lever #1).
+//
+// Given per-tile congestion (utilization of the worst adjacent routing
+// edge), every movable standard cell in an over-utilized tile grows its
+// density footprint:
+//
+//   inflate(v) ← min(max_inflate, inflate(v) · (1 + rate · (util − 1)))
+//
+// subject to a global budget: if the total added area would exceed
+// max_total_inflation × movable area, all increments this round are scaled
+// back proportionally. Inflation only affects the density model, never the
+// wirelength, so congested regions thin out without distorting net lengths.
+
+#include "model/problem.hpp"
+#include "route/routegrid.hpp"
+
+namespace rp {
+
+struct InflationResult {
+  int cells_inflated = 0;
+  double mean_inflation = 1.0;   ///< Area-weighted mean factor after update.
+  double budget_used = 0.0;      ///< Σ added area / movable area (cumulative).
+};
+
+InflationResult apply_congestion_inflation(PlaceProblem& prob, const RoutingGrid& grid,
+                                           double rate, double max_inflate,
+                                           double max_total_budget);
+
+/// Area-weighted mean of current inflation factors (diagnostics).
+double mean_inflation(const PlaceProblem& prob);
+
+}  // namespace rp

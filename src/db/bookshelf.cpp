@@ -1,0 +1,391 @@
+#include "db/bookshelf.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <optional>
+#include <stdexcept>
+
+#include "util/logger.hpp"
+#include "util/str.hpp"
+
+namespace fs = std::filesystem;
+
+namespace rp {
+
+namespace {
+
+/// Line-oriented tokenizer over a Bookshelf file: skips comments ('#'),
+/// blank lines, and the "UCLA <kind> 1.0" header; reports file:line in errors.
+class BsReader {
+ public:
+  explicit BsReader(const fs::path& file) : file_(file), in_(file) {
+    if (!in_) throw std::runtime_error("cannot open '" + file.string() + "'");
+  }
+
+  /// Next meaningful line's tokens, or nullopt at EOF.
+  std::optional<std::vector<std::string>> next() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++lineno_;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      const auto t = trim(line);
+      if (t.empty()) continue;
+      if (starts_with(t, "UCLA") || starts_with(t, "route 1.0")) continue;
+      return split(t, " \t:");
+    }
+    return std::nullopt;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error(file_.string() + ":" + std::to_string(lineno_) + ": " + why);
+  }
+
+  int lineno() const { return lineno_; }
+
+ private:
+  fs::path file_;
+  std::ifstream in_;
+  int lineno_ = 0;
+};
+
+/// Key-value lookup in tokenized "Key : v1 v2" lines.
+long expect_long(BsReader& r, const std::vector<std::string>& toks, std::size_t i) {
+  if (i >= toks.size()) r.fail("missing numeric field");
+  try {
+    return to_long(toks[i]);
+  } catch (const std::exception& e) {
+    r.fail(e.what());
+  }
+}
+
+double expect_double(BsReader& r, const std::vector<std::string>& toks, std::size_t i) {
+  if (i >= toks.size()) r.fail("missing numeric field");
+  try {
+    return to_double(toks[i]);
+  } catch (const std::exception& e) {
+    r.fail(e.what());
+  }
+}
+
+struct NodeRec {
+  std::string name;
+  double w = 0, h = 0;
+  bool terminal = false;
+};
+
+std::vector<NodeRec> read_nodes(const fs::path& file) {
+  BsReader r(file);
+  std::vector<NodeRec> out;
+  long declared = -1;
+  while (auto toks = r.next()) {
+    auto& t = *toks;
+    if (iequals(t[0], "NumNodes")) {
+      declared = expect_long(r, t, 1);
+      out.reserve(static_cast<std::size_t>(declared));
+    } else if (iequals(t[0], "NumTerminals")) {
+      // informative only
+    } else {
+      NodeRec n;
+      n.name = t[0];
+      n.w = expect_double(r, t, 1);
+      n.h = expect_double(r, t, 2);
+      if (t.size() > 3 && (iequals(t[3], "terminal") || iequals(t[3], "terminal_NI")))
+        n.terminal = true;
+      out.push_back(std::move(n));
+    }
+  }
+  if (declared >= 0 && declared != static_cast<long>(out.size()))
+    throw std::runtime_error(file.string() + ": NumNodes=" + std::to_string(declared) +
+                             " but parsed " + std::to_string(out.size()));
+  return out;
+}
+
+void read_nets_into(Design& d, const fs::path& file) {
+  BsReader r(file);
+  long remaining_pins_in_net = 0;
+  NetId cur = kInvalidId;
+  while (auto toks = r.next()) {
+    auto& t = *toks;
+    if (iequals(t[0], "NumNets") || iequals(t[0], "NumPins")) continue;
+    if (iequals(t[0], "NetDegree")) {
+      remaining_pins_in_net = expect_long(r, t, 1);
+      const std::string name = t.size() > 2 ? t[2] : ("net" + std::to_string(d.num_nets()));
+      cur = d.add_net(name);
+      continue;
+    }
+    if (cur == kInvalidId) r.fail("pin line before any NetDegree");
+    if (remaining_pins_in_net <= 0) r.fail("more pins than declared NetDegree");
+    const CellId c = d.find_cell(t[0]);
+    if (c == kInvalidId) r.fail("pin references unknown node '" + t[0] + "'");
+    Point off{};
+    // "<node> <dir> : <dx> <dy>" -> tokens {node, dir, dx, dy} (':' eaten).
+    if (t.size() >= 4) {
+      off.x = expect_double(r, t, 2);
+      off.y = expect_double(r, t, 3);
+    }
+    d.connect(c, cur, off);
+    --remaining_pins_in_net;
+  }
+}
+
+void read_wts_into(Design& d, const fs::path& file) {
+  BsReader r(file);
+  while (auto toks = r.next()) {
+    auto& t = *toks;
+    if (t.size() < 2) continue;
+    const NetId n = d.find_net(t[0]);
+    if (n != kInvalidId) d.net(n).weight = expect_double(r, t, 1);
+  }
+}
+
+void read_scl_into(Design& d, const fs::path& file) {
+  BsReader r(file);
+  std::optional<Row> cur;
+  while (auto toks = r.next()) {
+    auto& t = *toks;
+    if (iequals(t[0], "NumRows")) continue;
+    if (iequals(t[0], "CoreRow")) {
+      cur = Row{};
+      continue;
+    }
+    if (!cur) continue;
+    if (iequals(t[0], "Coordinate")) {
+      cur->y = expect_double(r, t, 1);
+    } else if (iequals(t[0], "Height")) {
+      cur->height = expect_double(r, t, 1);
+    } else if (iequals(t[0], "Sitewidth")) {
+      cur->site_w = expect_double(r, t, 1);
+    } else if (iequals(t[0], "SubrowOrigin")) {
+      // "SubrowOrigin : x NumSites : n" -> {SubrowOrigin, x, NumSites, n}
+      cur->lx = expect_double(r, t, 1);
+      if (t.size() >= 4 && iequals(t[2], "NumSites")) {
+        const double nsites = expect_double(r, t, 3);
+        cur->hx = cur->lx + nsites * (cur->site_w > 0 ? cur->site_w : 1.0);
+      }
+    } else if (iequals(t[0], "End")) {
+      if (cur->height <= 0) r.fail("row with no Height");
+      d.add_row(*cur);
+      cur.reset();
+    }
+  }
+}
+
+void read_route_into(Design& d, const fs::path& file) {
+  BsReader r(file);
+  RouteGridInfo rg;
+  int nlayers = 1;
+  std::vector<double> vcap, hcap, wire_w, wire_sp;
+  while (auto toks = r.next()) {
+    auto& t = *toks;
+    if (iequals(t[0], "Grid")) {
+      rg.nx = static_cast<int>(expect_long(r, t, 1));
+      rg.ny = static_cast<int>(expect_long(r, t, 2));
+      if (t.size() > 3) nlayers = static_cast<int>(expect_long(r, t, 3));
+    } else if (iequals(t[0], "VerticalCapacity")) {
+      for (std::size_t i = 1; i < t.size(); ++i) vcap.push_back(to_double(t[i]));
+    } else if (iequals(t[0], "HorizontalCapacity")) {
+      for (std::size_t i = 1; i < t.size(); ++i) hcap.push_back(to_double(t[i]));
+    } else if (iequals(t[0], "MinWireWidth")) {
+      for (std::size_t i = 1; i < t.size(); ++i) wire_w.push_back(to_double(t[i]));
+    } else if (iequals(t[0], "MinWireSpacing")) {
+      for (std::size_t i = 1; i < t.size(); ++i) wire_sp.push_back(to_double(t[i]));
+    } else if (iequals(t[0], "BlockagePorosity")) {
+      rg.macro_porosity = expect_double(r, t, 1);
+    }
+    // GridOrigin / TileSize / ViaSpacing / NumNiTerminals etc. are
+    // intentionally ignored: the placer derives tile geometry from the die.
+  }
+  (void)nlayers;
+  // Aggregate per-layer track capacities into one 2-D capacity per direction.
+  // Capacity lists are in routing tracks already (contest convention divides
+  // raw capacity by wire pitch; if MinWireWidth/Spacing are given, scale).
+  double h = 0, v = 0;
+  for (std::size_t i = 0; i < hcap.size(); ++i) {
+    const double pitch =
+        (i < wire_w.size() && i < wire_sp.size()) ? wire_w[i] + wire_sp[i] : 1.0;
+    h += hcap[i] / std::max(1.0, pitch);
+    v += (i < vcap.size() ? vcap[i] : 0.0) / std::max(1.0, pitch);
+  }
+  rg.h_capacity = h;
+  rg.v_capacity = v;
+  if (rg.nx > 0 && rg.ny > 0 && (h > 0 || v > 0)) d.set_route_grid(rg);
+}
+
+}  // namespace
+
+Design read_bookshelf(const fs::path& aux_file) {
+  std::ifstream aux(aux_file);
+  if (!aux) throw std::runtime_error("cannot open '" + aux_file.string() + "'");
+  std::string line, content;
+  while (std::getline(aux, line)) {
+    const auto t = trim(line);
+    if (!t.empty() && t[0] != '#') {
+      content = std::string(t);
+      break;
+    }
+  }
+  // "RowBasedPlacement : a.nodes a.nets a.wts a.pl a.scl [a.shapes a.route]"
+  const auto toks = split(content, " \t:");
+  fs::path nodes, nets, wts, pl, scl, route;
+  for (const auto& tok : toks) {
+    if (ends_with(tok, ".nodes")) nodes = tok;
+    else if (ends_with(tok, ".nets")) nets = tok;
+    else if (ends_with(tok, ".wts")) wts = tok;
+    else if (ends_with(tok, ".pl")) pl = tok;
+    else if (ends_with(tok, ".scl")) scl = tok;
+    else if (ends_with(tok, ".route")) route = tok;
+  }
+  if (nodes.empty() || nets.empty() || pl.empty() || scl.empty())
+    throw std::runtime_error(aux_file.string() + ": missing required file references");
+  const fs::path dir = aux_file.parent_path();
+
+  Design d;
+  d.set_name(nodes.stem().string());
+
+  // Rows first so macro-vs-stdcell classification can use the row height.
+  Design rows_probe;  // temporary: rows only
+  read_scl_into(rows_probe, dir / scl);
+  double row_h = 0.0;
+  for (const Row& r : rows_probe.rows()) row_h = std::max(row_h, r.height);
+  if (row_h <= 0) throw std::runtime_error(scl.string() + ": no usable rows");
+
+  for (const NodeRec& n : read_nodes(dir / nodes)) {
+    CellKind kind = CellKind::StdCell;
+    if (n.terminal) kind = CellKind::Terminal;
+    else if (n.h > row_h * 1.5) kind = CellKind::Macro;
+    d.add_cell(n.name, n.w, n.h, kind);
+  }
+  read_nets_into(d, dir / nets);
+  if (!wts.empty() && fs::exists(dir / wts)) read_wts_into(d, dir / wts);
+  read_scl_into(d, dir / scl);
+  read_pl_into(d, dir / pl);
+
+  // Die = bounding box of rows (the core area).
+  Rect die = Rect::empty_bbox();
+  for (const Row& r : d.rows())
+    die = die.cover(Rect{r.lx, r.y, r.hx, r.y + r.height});
+  d.set_die(die);
+
+  if (!route.empty() && fs::exists(dir / route)) read_route_into(d, dir / route);
+
+  d.finalize();
+  RP_INFO("read bookshelf '%s': %d cells (%d macros), %d nets, %d rows, util %.1f%%",
+          d.name().c_str(), d.num_cells(), d.num_macros(), d.num_nets(), d.num_rows(),
+          100.0 * d.utilization());
+  return d;
+}
+
+void read_pl_into(Design& d, const fs::path& pl_file) {
+  BsReader r(pl_file);
+  while (auto toks = r.next()) {
+    auto& t = *toks;
+    if (t.size() < 3) continue;
+    const CellId c = d.find_cell(t[0]);
+    if (c == kInvalidId) r.fail("pl references unknown node '" + t[0] + "'");
+    Cell& k = d.cell(c);
+    k.pos.x = expect_double(r, t, 1);
+    k.pos.y = expect_double(r, t, 2);
+    for (std::size_t i = 3; i < t.size(); ++i) {
+      if (iequals(t[i], "/FIXED") || iequals(t[i], "/FIXED_NI")) k.fixed = true;
+    }
+  }
+}
+
+void write_pl(const Design& d, const fs::path& pl_file) {
+  std::ofstream out(pl_file);
+  if (!out) throw std::runtime_error("cannot write '" + pl_file.string() + "'");
+  out << std::setprecision(17);
+  out << "UCLA pl 1.0\n# generated by routplace\n\n";
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    const Cell& k = d.cell(c);
+    out << k.name << '\t' << k.pos.x << '\t' << k.pos.y << " : N";
+    if (k.fixed) out << " /FIXED";
+    out << '\n';
+  }
+}
+
+void write_bookshelf(const Design& d, const fs::path& dir, const std::string& base) {
+  fs::create_directories(dir);
+  const auto p = [&](const char* ext) { return dir / (base + ext); };
+
+  {
+    std::ofstream out(p(".aux"));
+    out << "RowBasedPlacement : " << base << ".nodes " << base << ".nets " << base
+        << ".wts " << base << ".pl " << base << ".scl";
+    if (d.route_grid().valid()) out << " " << base << ".route";
+    out << "\n";
+  }
+  {
+    std::ofstream out(p(".nodes"));
+    out << std::setprecision(17);
+    out << "UCLA nodes 1.0\n\n";
+    int terms = 0;
+    for (CellId c = 0; c < d.num_cells(); ++c)
+      if (d.cell(c).kind == CellKind::Terminal) ++terms;
+    out << "NumNodes : " << d.num_cells() << "\n";
+    out << "NumTerminals : " << terms << "\n";
+    for (CellId c = 0; c < d.num_cells(); ++c) {
+      const Cell& k = d.cell(c);
+      out << '\t' << k.name << '\t' << k.w << '\t' << k.h;
+      if (k.kind == CellKind::Terminal) out << "\tterminal";
+      out << '\n';
+    }
+  }
+  {
+    std::ofstream out(p(".nets"));
+    out << std::setprecision(17);
+    out << "UCLA nets 1.0\n\n";
+    out << "NumNets : " << d.num_nets() << "\n";
+    out << "NumPins : " << d.num_pins() << "\n";
+    for (NetId n = 0; n < d.num_nets(); ++n) {
+      const Net& net = d.net(n);
+      out << "NetDegree : " << net.degree() << "\t" << net.name << "\n";
+      for (const PinId pid : net.pins) {
+        const Pin& pin = d.pin(pid);
+        out << '\t' << d.cell(pin.cell).name << "\tB : " << pin.offset.x << '\t'
+            << pin.offset.y << '\n';
+      }
+    }
+  }
+  {
+    std::ofstream out(p(".wts"));
+    out << std::setprecision(17);
+    out << "UCLA wts 1.0\n\n";
+    for (NetId n = 0; n < d.num_nets(); ++n)
+      out << d.net(n).name << '\t' << d.net(n).weight << '\n';
+  }
+  write_pl(d, p(".pl"));
+  {
+    std::ofstream out(p(".scl"));
+    out << std::setprecision(17);
+    out << "UCLA scl 1.0\n\n";
+    out << "NumRows : " << d.num_rows() << "\n";
+    for (int i = 0; i < d.num_rows(); ++i) {
+      const Row& r = d.row(i);
+      const long nsites =
+          static_cast<long>((r.hx - r.lx) / (r.site_w > 0 ? r.site_w : 1.0) + 0.5);
+      out << "CoreRow Horizontal\n";
+      out << "  Coordinate : " << r.y << "\n";
+      out << "  Height : " << r.height << "\n";
+      out << "  Sitewidth : " << r.site_w << "\n";
+      out << "  Sitespacing : " << r.site_w << "\n";
+      out << "  Siteorient : N\n  Sitesymmetry : Y\n";
+      out << "  SubrowOrigin : " << r.lx << " NumSites : " << nsites << "\n";
+      out << "End\n";
+    }
+  }
+  if (d.route_grid().valid()) {
+    const RouteGridInfo& rg = d.route_grid();
+    std::ofstream out(p(".route"));
+    out << std::setprecision(17);
+    out << "route 1.0\n\n";
+    out << "Grid : " << rg.nx << " " << rg.ny << " 1\n";
+    out << "VerticalCapacity : " << rg.v_capacity << "\n";
+    out << "HorizontalCapacity : " << rg.h_capacity << "\n";
+    out << "MinWireWidth : 1\nMinWireSpacing : 0\n";
+    out << "BlockagePorosity : " << rg.macro_porosity << "\n";
+  }
+}
+
+}  // namespace rp

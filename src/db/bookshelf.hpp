@@ -1,0 +1,39 @@
+#pragma once
+// Bookshelf placement-format I/O (UCLA / ISPD contest flavor).
+//
+// Supported files, dispatched from the .aux:
+//   .nodes  cell names & sizes, `terminal` / `terminal_NI` markers
+//   .nets   nets with pin offsets (offsets from cell center)
+//   .wts    optional net weights
+//   .pl     positions, orientation, /FIXED and /FIXED_NI markers
+//   .scl    core rows
+//   .route  optional ISPD-2011 routing grid (aggregated across layers)
+//
+// The reader produces a finalized Design; macros are recognized as movable
+// nodes taller than one row. The writer emits a directory of files readable
+// by this reader (round-trip tested) and by contest evaluators.
+
+#include <filesystem>
+#include <string>
+
+#include "db/design.hpp"
+
+namespace rp {
+
+/// Parse the benchmark rooted at an .aux file. Throws std::runtime_error
+/// with file/line context on malformed input.
+Design read_bookshelf(const std::filesystem::path& aux_file);
+
+/// Write `design` as <dir>/<base>.aux + .nodes/.nets/.pl/.scl (+ .wts, and
+/// .route if the design has a routing grid). Creates `dir` if needed.
+void write_bookshelf(const Design& d, const std::filesystem::path& dir,
+                     const std::string& base);
+
+/// Write only a .pl (placement) file for an existing benchmark.
+void write_pl(const Design& d, const std::filesystem::path& pl_file);
+
+/// Load cell positions from a .pl into an already-constructed design
+/// (names must match). Fixed flags in the file are ignored.
+void read_pl_into(Design& d, const std::filesystem::path& pl_file);
+
+}  // namespace rp

@@ -1,0 +1,156 @@
+#include "db/design.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/logger.hpp"
+
+namespace rp {
+
+CellId Design::add_cell(std::string name, double w, double h, CellKind kind) {
+  RP_ASSERT(!finalized_, "add_cell after finalize");
+  if (w < 0 || h < 0) throw std::runtime_error("cell '" + name + "' has negative size");
+  const CellId id = num_cells();
+  Cell c;
+  c.name = std::move(name);
+  c.w = w;
+  c.h = h;
+  c.kind = kind;
+  c.fixed = (kind == CellKind::Terminal);
+  if (!cell_by_name_.emplace(c.name, id).second)
+    throw std::runtime_error("duplicate cell name '" + c.name + "'");
+  cells_.push_back(std::move(c));
+  return id;
+}
+
+NetId Design::add_net(std::string name, double weight) {
+  RP_ASSERT(!finalized_, "add_net after finalize");
+  const NetId id = num_nets();
+  Net n;
+  n.name = std::move(name);
+  n.weight = weight;
+  if (!net_by_name_.emplace(n.name, id).second)
+    throw std::runtime_error("duplicate net name '" + n.name + "'");
+  nets_.push_back(std::move(n));
+  return id;
+}
+
+PinId Design::connect(CellId c, NetId n, Point offset) {
+  RP_ASSERT(!finalized_, "connect after finalize");
+  if (c < 0 || c >= num_cells()) throw std::runtime_error("connect: bad cell id");
+  if (n < 0 || n >= num_nets()) throw std::runtime_error("connect: bad net id");
+  const PinId id = num_pins();
+  pins_.push_back(Pin{c, n, offset});
+  cells_[c].pins.push_back(id);
+  nets_[n].pins.push_back(id);
+  return id;
+}
+
+int Design::add_region(Region r) {
+  const int id = num_regions();
+  regions_.push_back(std::move(r));
+  return id;
+}
+
+CellId Design::find_cell(std::string_view name) const {
+  const auto it = cell_by_name_.find(std::string(name));
+  return it == cell_by_name_.end() ? kInvalidId : it->second;
+}
+
+NetId Design::find_net(std::string_view name) const {
+  const auto it = net_by_name_.find(std::string(name));
+  return it == net_by_name_.end() ? kInvalidId : it->second;
+}
+
+void Design::build_hierarchy_from_names() {
+  hier_ = HierTree();
+  for (auto& c : cells_) c.hier = hier_.add_cell_path(c.name);
+  hier_built_ = true;
+}
+
+void Design::refresh_derived() {
+  movable_.clear();
+  movable_area_ = fixed_area_ = 0.0;
+  num_movable_ = num_macros_ = num_movable_macros_ = 0;
+  for (CellId c = 0; c < num_cells(); ++c) {
+    const Cell& k = cells_[c];
+    if (k.is_macro()) ++num_macros_;
+    if (k.movable()) {
+      movable_.push_back(c);
+      movable_area_ += k.area();
+      ++num_movable_;
+      if (k.is_macro()) ++num_movable_macros_;
+    } else {
+      // Only the on-die part of a fixed object consumes placement capacity.
+      fixed_area_ += cell_rect(c).overlap_area(die_);
+    }
+  }
+}
+
+double Design::utilization() const {
+  const double free_area = die_.area() - fixed_area_;
+  return free_area > 0 ? movable_area_ / free_area : 0.0;
+}
+
+void Design::finalize() {
+  if (finalized_) return;
+  if (die_.width() <= 0 || die_.height() <= 0)
+    throw std::runtime_error("finalize: die area is degenerate");
+
+  if (!hier_built_) build_hierarchy_from_names();
+
+  for (CellId c = 0; c < num_cells(); ++c) {
+    const Cell& k = cells_[c];
+    if (k.region != kInvalidId && k.region >= num_regions())
+      throw std::runtime_error("cell '" + k.name + "' references bad region");
+  }
+  refresh_derived();
+
+  row_height_ = 0.0;
+  for (const Row& r : rows_) {
+    if (r.height <= 0) throw std::runtime_error("finalize: row with non-positive height");
+    if (row_height_ == 0.0) {
+      row_height_ = r.height;
+    } else if (std::abs(row_height_ - r.height) > 1e-9) {
+      throw std::runtime_error("finalize: mixed row heights are not supported");
+    }
+  }
+  if (rows_.empty()) {
+    // Designs without explicit rows (pure analytic experiments): synthesize
+    // rows covering the die so legalization still works.
+    const double rh = std::max(1.0, die_.height() / 100.0);
+    for (double y = die_.ly; y + rh <= die_.hy + 1e-9; y += rh) {
+      rows_.push_back(Row{y, rh, die_.lx, die_.hx, 1.0});
+    }
+    row_height_ = rh;
+    RP_DEBUG("finalize: synthesized %d rows of height %.2f", num_rows(), rh);
+  }
+
+  if (movable_.empty()) throw std::runtime_error("finalize: no movable cells");
+  if (utilization() > 1.0 + 1e-9)
+    throw std::runtime_error("finalize: utilization exceeds 1.0; design cannot be placed");
+
+  finalized_ = true;
+}
+
+Rect Design::net_bbox(NetId n) const {
+  BBox bb;
+  for (const PinId p : nets_[n].pins) bb.add(pin_pos(p));
+  return bb.r;
+}
+
+double Design::net_hpwl(NetId n) const {
+  if (nets_[n].pins.size() < 2) return 0.0;
+  BBox bb;
+  for (const PinId p : nets_[n].pins) bb.add(pin_pos(p));
+  return bb.half_perimeter();
+}
+
+double Design::hpwl() const {
+  double sum = 0.0;
+  for (NetId n = 0; n < num_nets(); ++n) sum += nets_[n].weight * net_hpwl(n);
+  return sum;
+}
+
+}  // namespace rp

@@ -1,0 +1,233 @@
+#pragma once
+// The placement database: cells, pins, nets, rows, fence regions, routing
+// grid description, and the design hierarchy.
+//
+// Conventions
+//  * Cell positions are the LOWER-LEFT corner (Bookshelf convention);
+//    `cell_center`/`set_center` convert.
+//  * Pin offsets are measured from the CELL CENTER (Bookshelf convention).
+//  * Ids (CellId/NetId/PinId) are dense ints; kInvalidId == -1.
+//  * Movable vs fixed: `Cell::fixed` — terminals and pre-placed macros are
+//    fixed; everything the placer may move is !fixed.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/hierarchy.hpp"
+#include "util/geometry.hpp"
+
+namespace rp {
+
+using CellId = int;
+using NetId = int;
+using PinId = int;
+inline constexpr int kInvalidId = -1;
+
+enum class CellKind {
+  StdCell,   ///< Row-aligned movable standard cell.
+  Macro,     ///< Large block; movable unless fixed; blocks routing partially.
+  Terminal,  ///< I/O pad or pre-placed blockage; always fixed.
+};
+
+struct Pin {
+  CellId cell = kInvalidId;
+  NetId net = kInvalidId;
+  Point offset;  ///< From the owning cell's center.
+};
+
+struct Cell {
+  std::string name;
+  double w = 0.0;
+  double h = 0.0;
+  CellKind kind = CellKind::StdCell;
+  bool fixed = false;
+  Point pos;             ///< Lower-left corner.
+  int region = kInvalidId;  ///< Fence region id, or kInvalidId if unconstrained.
+  int hier = 0;          ///< HierTree module node containing this cell.
+  std::vector<PinId> pins;
+
+  double area() const { return w * h; }
+  bool is_macro() const { return kind == CellKind::Macro; }
+  bool movable() const { return !fixed; }
+};
+
+struct Net {
+  std::string name;
+  std::vector<PinId> pins;
+  double weight = 1.0;
+
+  int degree() const { return static_cast<int>(pins.size()); }
+};
+
+/// A placement row of sites (Bookshelf .scl SiteRow).
+struct Row {
+  double y = 0.0;       ///< Bottom edge.
+  double height = 0.0;
+  double lx = 0.0;      ///< Leftmost site edge.
+  double hx = 0.0;      ///< Rightmost edge (lx + num_sites * site_w).
+  double site_w = 1.0;
+};
+
+/// Fence region: member cells must be placed inside the union of rects.
+struct Region {
+  std::string name;
+  std::vector<Rect> rects;
+
+  bool contains(Point p) const {
+    for (const auto& r : rects)
+      if (r.contains(p)) return true;
+    return false;
+  }
+  Rect bbox() const {
+    Rect b = Rect::empty_bbox();
+    for (const auto& r : rects) b = b.cover(r);
+    return b;
+  }
+};
+
+/// Global-routing grid description (aggregated over layers, Bookshelf .route
+/// style). Capacities are in routing tracks per grid-edge; macros derate the
+/// capacity of tiles they cover by (1 - porosity).
+struct RouteGridInfo {
+  int nx = 0;
+  int ny = 0;
+  double h_capacity = 0.0;  ///< Tracks per horizontal edge (per tile row).
+  double v_capacity = 0.0;  ///< Tracks per vertical edge.
+  double wire_spacing = 1.0;  ///< Track pitch: wirelength per track per tile.
+  double macro_porosity = 0.1;  ///< Fraction of capacity surviving over a macro.
+
+  bool valid() const { return nx > 0 && ny > 0 && h_capacity > 0 && v_capacity > 0; }
+};
+
+/// The full design: netlist + floorplan + routing description + hierarchy.
+///
+/// Construction: use the add_* methods (or the Bookshelf reader / benchmark
+/// generator), then call finalize() once. finalize() freezes name lookups and
+/// computes derived data; it must be called before placement.
+class Design {
+ public:
+  // ---- construction ----
+  CellId add_cell(std::string name, double w, double h, CellKind kind = CellKind::StdCell);
+  NetId add_net(std::string name, double weight = 1.0);
+  /// Connect cell to net with a pin at `offset` from the cell center.
+  PinId connect(CellId c, NetId n, Point offset = {});
+  void add_row(const Row& r) { rows_.push_back(r); }
+  int add_region(Region r);
+  /// Assign a cell to a fence region.
+  void set_region(CellId c, int region) { cells_[c].region = region; }
+
+  void set_name(std::string n) { name_ = std::move(n); }
+  void set_die(Rect r) { die_ = r; }
+  void set_route_grid(const RouteGridInfo& rg) { route_ = rg; }
+
+  /// Derive the hierarchy tree from '/'-separated instance names.
+  /// Called by finalize() when no hierarchy was installed explicitly.
+  void build_hierarchy_from_names();
+
+  /// Validate & freeze. Throws std::runtime_error on inconsistencies
+  /// (degenerate die, pins referencing bad ids, rows outside die, ...).
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Recompute the movable-cell list and area statistics after fixed flags
+  /// changed (e.g. freeze_macros). Cheap; does not re-validate.
+  void refresh_derived();
+
+  // ---- identity ----
+  const std::string& name() const { return name_; }
+  const Rect& die() const { return die_; }
+  const RouteGridInfo& route_grid() const { return route_; }
+  RouteGridInfo& route_grid_mutable() { return route_; }
+
+  // ---- netlist access ----
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+  int num_nets() const { return static_cast<int>(nets_.size()); }
+  int num_pins() const { return static_cast<int>(pins_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_regions() const { return static_cast<int>(regions_.size()); }
+
+  const Cell& cell(CellId c) const { return cells_[c]; }
+  Cell& cell(CellId c) { return cells_[c]; }
+  const Net& net(NetId n) const { return nets_[n]; }
+  Net& net(NetId n) { return nets_[n]; }
+  const Pin& pin(PinId p) const { return pins_[p]; }
+  const Row& row(int i) const { return rows_[i]; }
+  const Region& region(int i) const { return regions_[i]; }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::vector<Region>& regions() const { return regions_; }
+  const HierTree& hierarchy() const { return hier_; }
+  HierTree& hierarchy_mutable() { return hier_; }
+
+  CellId find_cell(std::string_view name) const;
+  NetId find_net(std::string_view name) const;
+
+  // ---- geometry helpers ----
+  Rect cell_rect(CellId c) const {
+    const Cell& k = cells_[c];
+    return {k.pos.x, k.pos.y, k.pos.x + k.w, k.pos.y + k.h};
+  }
+  Point cell_center(CellId c) const {
+    const Cell& k = cells_[c];
+    return {k.pos.x + k.w / 2, k.pos.y + k.h / 2};
+  }
+  void set_center(CellId c, Point ctr) {
+    Cell& k = cells_[c];
+    k.pos = {ctr.x - k.w / 2, ctr.y - k.h / 2};
+  }
+  Point pin_pos(PinId p) const {
+    const Pin& pn = pins_[p];
+    return cell_center(pn.cell) + pn.offset;
+  }
+
+  // ---- derived stats (valid after finalize) ----
+  double total_movable_area() const { return movable_area_; }
+  double total_fixed_area_in_die() const { return fixed_area_; }
+  /// Placement utilization: movable area / (die area - fixed area).
+  double utilization() const;
+  double row_height() const { return row_height_; }
+  int num_movable() const { return num_movable_; }
+  int num_macros() const { return num_macros_; }
+  int num_movable_macros() const { return num_movable_macros_; }
+
+  /// Half-perimeter wirelength of the current placement (weighted).
+  double hpwl() const;
+  /// HPWL of a single net.
+  double net_hpwl(NetId n) const;
+  /// Bounding box of a net's pins.
+  Rect net_bbox(NetId n) const;
+
+  /// Movable cell ids (std cells + movable macros), precomputed by finalize.
+  const std::vector<CellId>& movable_cells() const { return movable_; }
+
+ private:
+  std::string name_ = "design";
+  Rect die_;
+  RouteGridInfo route_;
+
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<Pin> pins_;
+  std::vector<Row> rows_;
+  std::vector<Region> regions_;
+  HierTree hier_;
+
+  std::unordered_map<std::string, CellId> cell_by_name_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+
+  std::vector<CellId> movable_;
+  double movable_area_ = 0.0;
+  double fixed_area_ = 0.0;
+  double row_height_ = 0.0;
+  int num_movable_ = 0;
+  int num_macros_ = 0;
+  int num_movable_macros_ = 0;
+  bool finalized_ = false;
+  bool hier_built_ = false;
+
+  friend class BenchmarkBuilder;
+};
+
+}  // namespace rp

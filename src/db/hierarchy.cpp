@@ -1,0 +1,74 @@
+#include "db/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/str.hpp"
+
+namespace rp {
+
+HierTree::HierTree() {
+  Node rootnode;
+  rootnode.name = "<top>";
+  nodes_.push_back(std::move(rootnode));
+}
+
+std::string HierTree::key(int parent, std::string_view name) {
+  return std::to_string(parent) + "/" + std::string(name);
+}
+
+int HierTree::get_or_add_child(int parent, std::string_view name) {
+  RP_ASSERT(parent >= 0 && parent < num_nodes(), "HierTree: bad parent");
+  const std::string k = key(parent, name);
+  if (const auto it = child_lookup_.find(k); it != child_lookup_.end()) return it->second;
+  const int id = num_nodes();
+  Node n;
+  n.name = std::string(name);
+  n.parent = parent;
+  n.depth = nodes_[parent].depth + 1;
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  child_lookup_.emplace(k, id);
+  return id;
+}
+
+int HierTree::add_cell_path(std::string_view instance_path) {
+  const auto comps = hier_components(instance_path);
+  int cur = root();
+  // All components except the last (the cell's own name) are modules.
+  for (std::size_t i = 0; i + 1 < comps.size(); ++i) {
+    cur = get_or_add_child(cur, comps[i]);
+  }
+  nodes_[cur].num_cells += 1;
+  return cur;
+}
+
+int HierTree::common_ancestor_depth(int a, int b) const {
+  RP_ASSERT(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(),
+            "HierTree: bad node id");
+  while (nodes_[a].depth > nodes_[b].depth) a = nodes_[a].parent;
+  while (nodes_[b].depth > nodes_[a].depth) b = nodes_[b].parent;
+  while (a != b) {
+    a = nodes_[a].parent;
+    b = nodes_[b].parent;
+  }
+  return nodes_[a].depth;
+}
+
+int HierTree::max_depth() const {
+  int d = 0;
+  for (const auto& n : nodes_) d = std::max(d, n.depth);
+  return d;
+}
+
+std::string HierTree::path(int id) const {
+  RP_ASSERT(id >= 0 && id < num_nodes(), "HierTree: bad node id");
+  if (id == root()) return "";
+  std::string p = nodes_[id].name;
+  for (int cur = nodes_[id].parent; cur != root(); cur = nodes_[cur].parent) {
+    p = nodes_[cur].name + "/" + p;
+  }
+  return p;
+}
+
+}  // namespace rp

@@ -1,0 +1,60 @@
+#pragma once
+// Design hierarchy tree.
+//
+// "Hierarchical" designs (the h in NTUplace4h) carry the original RTL module
+// hierarchy in their instance names ("top/core0/alu/u42"). The placer uses
+// this structure to bias multilevel clustering: cells deep in the same module
+// belong together. HierTree stores the module tree; each cell references the
+// module (leaf-most component path minus the cell's own leaf name) it
+// instantiates under.
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rp {
+
+/// Module-hierarchy tree. Node 0 is the root (top module). Ids are dense.
+class HierTree {
+ public:
+  struct Node {
+    std::string name;     ///< Local module name ("alu"), root has design name.
+    int parent = -1;      ///< -1 for the root.
+    int depth = 0;        ///< root == 0.
+    std::vector<int> children;
+    int num_cells = 0;    ///< Leaf cells directly inside this module.
+  };
+
+  HierTree();
+
+  int root() const { return 0; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int id) const { return nodes_[id]; }
+
+  /// Child of `parent` named `name`; created if absent.
+  int get_or_add_child(int parent, std::string_view name);
+
+  /// Resolve a full instance path "a/b/cell" to the module node "a/b"
+  /// (creating intermediate modules) and count the cell there.
+  /// Returns the module id the cell lives in (root for flat names).
+  int add_cell_path(std::string_view instance_path);
+
+  /// Depth of the deepest common ancestor of two modules. Both ids must be
+  /// valid. Root-only commonality yields 0.
+  int common_ancestor_depth(int a, int b) const;
+
+  int depth(int id) const { return nodes_[id].depth; }
+  int max_depth() const;
+
+  /// Full path name of a module ("top/core0/alu"); root yields "".
+  std::string path(int id) const;
+
+ private:
+  std::vector<Node> nodes_;
+  // (parent, child-name) -> node id
+  std::unordered_map<std::string, int> child_lookup_;
+  static std::string key(int parent, std::string_view name);
+};
+
+}  // namespace rp

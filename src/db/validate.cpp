@@ -1,0 +1,124 @@
+#include "db/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rp {
+
+namespace {
+
+/// Sweep-line enumeration of overlapping cell pairs; calls fn(a, b, area).
+/// Cells sorted by lx; active set pruned by hx. Expected near-linear for
+/// legal-ish placements.
+template <typename Fn>
+void for_each_overlap(const Design& d, Fn&& fn) {
+  struct Item {
+    Rect r;
+    CellId id;
+  };
+  std::vector<Item> items;
+  items.reserve(d.num_cells());
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    const Rect r = d.cell_rect(c);
+    if (r.width() <= 0 || r.height() <= 0) continue;  // zero-area pads
+    items.push_back({r, c});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.r.lx < b.r.lx; });
+  std::vector<const Item*> active;
+  for (const Item& it : items) {
+    std::erase_if(active, [&](const Item* a) { return a->r.hx <= it.r.lx; });
+    for (const Item* a : active) {
+      const double ov = a->r.overlap_area(it.r);
+      if (ov > 0) fn(a->id, it.id, ov);
+    }
+    active.push_back(&it);
+  }
+}
+
+}  // namespace
+
+LegalityReport check_legality(const Design& d, const LegalityOptions& opt) {
+  LegalityReport rep;
+  const Rect die = d.die();
+  const auto note = [&](std::string msg) {
+    if (static_cast<int>(rep.messages.size()) < opt.max_violations)
+      rep.messages.push_back(std::move(msg));
+  };
+
+  // Die containment and fence regions (movable cells only; fixed objects may
+  // legitimately straddle the die boundary, e.g. IO pads).
+  for (const CellId c : d.movable_cells()) {
+    const Cell& k = d.cell(c);
+    const Rect r = d.cell_rect(c);
+    if (r.lx < die.lx - opt.tol || r.ly < die.ly - opt.tol || r.hx > die.hx + opt.tol ||
+        r.hy > die.hy + opt.tol) {
+      ++rep.out_of_die;
+      note("cell '" + k.name + "' outside die");
+    }
+    if (opt.check_regions && k.region != kInvalidId) {
+      bool inside = false;
+      for (const Rect& fr : d.region(k.region).rects) {
+        if (fr.expand(opt.tol).contains(r)) {
+          inside = true;
+          break;
+        }
+      }
+      if (!inside) {
+        ++rep.region_violations;
+        note("cell '" + k.name + "' outside fence region '" + d.region(k.region).name + "'");
+      }
+    }
+  }
+
+  // Row alignment for standard cells.
+  if (opt.check_rows && d.num_rows() > 0) {
+    const double rh = d.row_height();
+    const double y0 = d.row(0).y;
+    for (const CellId c : d.movable_cells()) {
+      const Cell& k = d.cell(c);
+      if (k.kind != CellKind::StdCell) continue;
+      const double rel = (k.pos.y - y0) / rh;
+      if (std::abs(rel - std::round(rel)) * rh > opt.tol) {
+        ++rep.row_misaligned;
+        note("cell '" + k.name + "' not on a row boundary");
+      }
+      if (opt.check_sites) {
+        const double sw = d.row(0).site_w;
+        const double relx = (k.pos.x - d.row(0).lx) / sw;
+        if (std::abs(relx - std::round(relx)) * sw > opt.tol) {
+          ++rep.site_misaligned;
+          note("cell '" + k.name + "' not on a site boundary");
+        }
+      }
+    }
+  }
+
+  // Overlaps. Shrink rects by tol to ignore exact-touch numerical noise;
+  // skip fixed-fixed pairs (pre-placed blockages may legitimately abut or
+  // even overlap in contest inputs).
+  for_each_overlap(d, [&](CellId a, CellId b, double) {
+    const Cell& ka = d.cell(a);
+    const Cell& kb = d.cell(b);
+    if (ka.fixed && kb.fixed) return;
+    const Rect ra = d.cell_rect(a).expand(-opt.tol / 2);
+    const Rect rb = d.cell_rect(b).expand(-opt.tol / 2);
+    if (ra.overlap_area(rb) <= 0) return;
+    ++rep.overlaps;
+    note("cells '" + ka.name + "' and '" + kb.name + "' overlap");
+  });
+
+  return rep;
+}
+
+double total_overlap_area(const Design& d) {
+  double sum = 0.0;
+  for_each_overlap(d, [&](CellId a, CellId b, double ov) {
+    if (d.cell(a).fixed && d.cell(b).fixed) return;
+    sum += ov;
+  });
+  return sum;
+}
+
+}  // namespace rp

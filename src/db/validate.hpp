@@ -1,0 +1,49 @@
+#pragma once
+// Placement legality checking.
+//
+// Used by tests and at the end of the flow to certify the final placement:
+//  * every movable cell inside the die (and its fence region, if any)
+//  * no two cells overlap (fixed-vs-movable and movable-vs-movable)
+//  * standard cells aligned to rows (bottom edge on a row, height == row
+//    height) and, optionally, to site boundaries.
+
+#include <string>
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace rp {
+
+struct LegalityOptions {
+  bool check_rows = true;      ///< Row/site alignment of std cells.
+  bool check_sites = false;    ///< X on site grid (off: continuous x allowed).
+  bool check_regions = true;   ///< Fence-region containment.
+  double tol = 1e-6;           ///< Geometric tolerance (absolute).
+  int max_violations = 50;     ///< Stop collecting messages after this many.
+};
+
+struct LegalityReport {
+  int out_of_die = 0;
+  int overlaps = 0;
+  int row_misaligned = 0;
+  int site_misaligned = 0;
+  int region_violations = 0;
+  std::vector<std::string> messages;
+
+  bool ok() const {
+    return out_of_die == 0 && overlaps == 0 && row_misaligned == 0 &&
+           site_misaligned == 0 && region_violations == 0;
+  }
+  int total() const {
+    return out_of_die + overlaps + row_misaligned + site_misaligned + region_violations;
+  }
+};
+
+/// Check current placement legality. O(n log n) sweep for overlaps.
+LegalityReport check_legality(const Design& d, const LegalityOptions& opt = {});
+
+/// Total pairwise overlap area among movable cells and between movable and
+/// fixed cells (0 for a legal placement). Useful as a soft progress metric.
+double total_overlap_area(const Design& d);
+
+}  // namespace rp

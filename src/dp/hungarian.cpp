@@ -1,0 +1,73 @@
+#include "dp/hungarian.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace rp {
+
+// Classic O(n³) potentials implementation (e-maxx style), 1-indexed arrays.
+std::vector<int> hungarian(const std::vector<double>& cost, int n) {
+  RP_ASSERT(static_cast<int>(cost.size()) == n * n, "hungarian: bad matrix size");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<int> p(static_cast<std::size_t>(n) + 1, 0);    // column -> row
+  std::vector<int> way(static_cast<std::size_t>(n) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<std::size_t>(n) + 1, kInf);
+    std::vector<char> used(static_cast<std::size_t>(n) + 1, 0);
+    do {
+      used[static_cast<std::size_t>(j0)] = 1;
+      const int i0 = p[static_cast<std::size_t>(j0)];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const double cur = cost[static_cast<std::size_t>((i0 - 1) * n + (j - 1))] -
+                           u[static_cast<std::size_t>(i0)] - v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0);
+  }
+
+  std::vector<int> assign(static_cast<std::size_t>(n), -1);
+  for (int j = 1; j <= n; ++j)
+    if (p[static_cast<std::size_t>(j)] > 0)
+      assign[static_cast<std::size_t>(p[static_cast<std::size_t>(j)] - 1)] = j - 1;
+  return assign;
+}
+
+double assignment_cost(const std::vector<double>& cost, int n,
+                       const std::vector<int>& assign) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i)
+    s += cost[static_cast<std::size_t>(i * n + assign[static_cast<std::size_t>(i)])];
+  return s;
+}
+
+}  // namespace rp

@@ -1,0 +1,17 @@
+#pragma once
+// Dense Hungarian (Kuhn–Munkres) assignment solver for the small square
+// cost matrices used by independent-set matching (n ≤ ~16).
+
+#include <vector>
+
+namespace rp {
+
+/// Minimum-cost perfect assignment on an n×n cost matrix (row-major).
+/// Returns assignment[row] = column. O(n³).
+std::vector<int> hungarian(const std::vector<double>& cost, int n);
+
+/// Total cost of an assignment under the given matrix.
+double assignment_cost(const std::vector<double>& cost, int n,
+                       const std::vector<int>& assign);
+
+}  // namespace rp

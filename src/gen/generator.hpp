@@ -1,0 +1,77 @@
+#pragma once
+// Synthetic hierarchical mixed-size benchmark generator.
+//
+// Substitutes for the ISPD-2011 / DAC-2012 contest benchmarks (superblue*),
+// which cannot be shipped. The generator reproduces the statistical structure
+// those benchmarks exhibit and that the placement algorithms actually react
+// to:
+//   * a module hierarchy (recursive partitioning, configurable depth/fanout)
+//     encoded in instance names, with Rent-rule locality: most nets connect
+//     cells within a module, a few cross module boundaries;
+//   * mixed sizes: standard cells of 1-8 sites plus large macros (both
+//     movable and pre-placed fixed blockages that carve narrow channels);
+//   * boundary I/O pads;
+//   * a global-routing grid with per-direction track capacities and macro
+//     blockage porosity;
+//   * optional fence regions around subtrees of the hierarchy.
+//
+// Everything is driven by one explicit seed: the same spec yields the same
+// Design, bit-for-bit.
+
+#include <string>
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace rp {
+
+struct BenchmarkSpec {
+  std::string name = "synth";
+  std::uint64_t seed = 1;
+
+  // --- netlist ---
+  int num_std_cells = 10000;
+  double nets_per_cell = 1.1;     ///< #nets ≈ cells × this.
+  double avg_net_degree = 3.4;    ///< Mean pins per net (>= 2).
+  int max_net_degree = 24;
+
+  // --- hierarchy ---
+  int hier_fanout = 4;            ///< Children per module.
+  int leaf_module_cells = 300;    ///< Split modules larger than this.
+  double net_locality = 0.8;      ///< P(net stays inside its owner module).
+  bool flat = false;              ///< true: no hierarchy (flat contest style).
+
+  // --- mixed size ---
+  int num_macros = 12;
+  double macro_area_fraction = 0.25;  ///< Macro area / total movable+macro area.
+  double fixed_macro_ratio = 0.5;     ///< Fraction of macros pre-placed & fixed.
+
+  // --- floorplan ---
+  double target_utilization = 0.75;   ///< Movable area / free area.
+  double row_height = 9.0;
+  double site_width = 1.0;
+  int num_io = 64;
+
+  // --- routing ---
+  int route_tiles_x = 0;        ///< 0: auto (~ one tile per 4x4 rows).
+  int route_tiles_y = 0;
+  double track_supply = 1.6;    ///< Capacity vs. expected demand (lower: harder).
+  double macro_porosity = 0.2;
+
+  // --- fences ---
+  int num_fence_regions = 0;
+};
+
+/// Generate a finalized Design from the spec.
+Design generate_benchmark(const BenchmarkSpec& spec);
+
+/// The paper-style evaluation suite: six designs, three sizes x
+/// {hierarchical, flat}, with congestion-prone floorplans.
+std::vector<BenchmarkSpec> paper_suite();
+
+/// Small/medium specs used by tests and examples.
+BenchmarkSpec tiny_spec(std::uint64_t seed = 7);    ///< ~400 cells.
+BenchmarkSpec small_spec(std::uint64_t seed = 11);  ///< ~2k cells.
+BenchmarkSpec medium_spec(std::uint64_t seed = 13); ///< ~8k cells.
+
+}  // namespace rp

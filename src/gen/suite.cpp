@@ -1,0 +1,84 @@
+// The paper-style evaluation suite and the small fixtures used by tests.
+//
+// The six suite entries mirror the shape of the DAC-2012 contest set: three
+// sizes, each in a hierarchical and a flat variant, with a congestion-prone
+// track supply and a significant fixed-macro blockage fraction.
+
+#include "gen/generator.hpp"
+
+namespace rp {
+
+BenchmarkSpec tiny_spec(std::uint64_t seed) {
+  BenchmarkSpec s;
+  s.name = "tiny";
+  s.seed = seed;
+  s.num_std_cells = 400;
+  s.num_macros = 3;
+  s.macro_area_fraction = 0.18;
+  s.leaf_module_cells = 80;
+  s.num_io = 16;
+  s.target_utilization = 0.7;
+  return s;
+}
+
+BenchmarkSpec small_spec(std::uint64_t seed) {
+  BenchmarkSpec s;
+  s.name = "small";
+  s.seed = seed;
+  s.num_std_cells = 2000;
+  s.num_macros = 6;
+  s.macro_area_fraction = 0.22;
+  s.leaf_module_cells = 200;
+  s.num_io = 32;
+  return s;
+}
+
+BenchmarkSpec medium_spec(std::uint64_t seed) {
+  BenchmarkSpec s;
+  s.name = "medium";
+  s.seed = seed;
+  s.num_std_cells = 8000;
+  s.num_macros = 10;
+  s.macro_area_fraction = 0.25;
+  s.leaf_module_cells = 400;
+  s.num_io = 48;
+  s.track_supply = 1.3;
+  return s;
+}
+
+std::vector<BenchmarkSpec> paper_suite() {
+  std::vector<BenchmarkSpec> suite;
+  const int sizes[3] = {4000, 10000, 24000};
+  const int macro_counts[3] = {8, 12, 16};
+  // Per-entry track supplies, tuned by pilot runs (exactly how the DAC-2012
+  // organizers tuned each benchmark's capacities): each value puts the
+  // BASELINE placer just into the overflowing-hotspot regime (routed RC of
+  // roughly 103-120). The proxy-based anchor in generator.cpp removes most
+  // of the variation; these factors absorb the residual size/flatness drift
+  // between proxy demand and placed demand.
+  const double supplies[3][2] = {{1.00, 1.75},   // 4k: hier, flat
+                                 {1.55, 2.35},   // 10k
+                                 {2.10, 3.25}};  // 24k
+  for (int i = 0; i < 3; ++i) {
+    for (const bool flat : {false, true}) {
+      BenchmarkSpec s;
+      s.name = "rdp-s" + std::to_string(static_cast<int>(suite.size()) + 1) +
+               (flat ? "-flat" : "-hier");
+      s.seed = 1000 + suite.size();
+      s.num_std_cells = sizes[i];
+      s.num_macros = macro_counts[i];
+      s.macro_area_fraction = 0.25;
+      s.fixed_macro_ratio = 0.6;
+      s.flat = flat;
+      s.leaf_module_cells = 300;
+      s.target_utilization = 0.72;
+      s.track_supply = supplies[i][flat ? 1 : 0];
+      s.macro_porosity = 0.15;  // strong structural hotspots over macros
+      s.num_io = 64;
+      suite.push_back(std::move(s));
+    }
+  }
+  return suite;
+}
+
+}  // namespace rp

@@ -1,0 +1,193 @@
+// Abacus standard-cell legalization (Spindler, Schlichtmann & Johannes,
+// "Abacus: fast legalization of standard cell circuits with minimal
+// movement").
+//
+// Cells are processed in ascending target-x order. For each cell we try the
+// subrows in a widening window around its target row; the cheapest TRIAL
+// insertion wins and is committed. Within a subrow, cells form clusters:
+// appending a cell that would overlap its left neighbor merges the two
+// clusters, and a merged cluster sits at the area-weighted mean of its
+// members' targets, clamped into the subrow — the classic quadratic-optimal
+// row placement, computed incrementally.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "legal/legalizer.hpp"
+#include "legal/subrow.hpp"
+#include "util/logger.hpp"
+
+namespace rp {
+
+namespace {
+
+struct ClusterCell {
+  CellId id;
+  double w;
+  double target_x;  ///< Desired lower-left x.
+  double e;         ///< Weight (cell area).
+};
+
+struct Cluster {
+  double x = 0.0;  ///< Lower-left of the cluster.
+  double e = 0.0;  ///< Σ weights.
+  double q = 0.0;  ///< Σ e_i (target_i − offset_i): optimal x = q / e.
+  double w = 0.0;  ///< Total width.
+  int first_cell = 0;  ///< Range into RowState::cells.
+  int last_cell = 0;
+};
+
+struct RowState {
+  std::vector<ClusterCell> cells;  ///< In insertion (x-sorted) order.
+  std::vector<Cluster> clusters;
+  double used_width = 0.0;
+};
+
+double clamp_cluster_x(const Subrow& sr, const Cluster& cl) {
+  return std::clamp(cl.q / cl.e, sr.lx, sr.hx - cl.w);
+}
+
+/// Append a cell to the row state and collapse clusters. Returns the cell's
+/// final x, or a quiet NaN if it cannot fit.
+double append_and_collapse(const Subrow& sr, RowState& rs, const ClusterCell& cc,
+                           bool commit) {
+  if (rs.used_width + cc.w > sr.width() + 1e-9)
+    return std::numeric_limits<double>::quiet_NaN();
+
+  // Work on copies when only trialing.
+  std::vector<Cluster> trial_clusters;
+  std::vector<Cluster>& cl = commit ? rs.clusters : trial_clusters;
+  if (!commit) trial_clusters = rs.clusters;
+
+  Cluster nc;
+  nc.e = cc.e;
+  nc.q = cc.e * cc.target_x;
+  nc.w = cc.w;
+  nc.first_cell = static_cast<int>(rs.cells.size());
+  nc.last_cell = nc.first_cell + 1;
+  nc.x = std::clamp(cc.target_x, sr.lx, sr.hx - cc.w);
+  cl.push_back(nc);
+
+  // Collapse while the last cluster overlaps its predecessor.
+  while (cl.size() >= 2) {
+    Cluster& prev = cl[cl.size() - 2];
+    Cluster& last = cl.back();
+    last.x = clamp_cluster_x(sr, last);
+    if (prev.x + prev.w <= last.x + 1e-9) break;
+    // Merge `last` into `prev`: members of `last` sit at offset prev.w
+    // inside the merged cluster, so their q contribution shifts by prev.w·e.
+    prev.q += last.q - last.e * prev.w;
+    prev.e += last.e;
+    prev.w += last.w;
+    prev.last_cell = last.last_cell;
+    cl.pop_back();
+    cl.back().x = clamp_cluster_x(sr, cl.back());
+  }
+  cl.back().x = clamp_cluster_x(sr, cl.back());
+
+  // The appended cell is the last member of the final cluster.
+  const Cluster& host = cl.back();
+  double x = host.x + host.w - cc.w;
+  if (x < sr.lx - 1e-9 || x + cc.w > sr.hx + 1e-9)
+    return std::numeric_limits<double>::quiet_NaN();
+
+  if (commit) {
+    rs.cells.push_back(cc);
+    rs.used_width += cc.w;
+  }
+  return x;
+}
+
+/// Final positions of every cell in the row, walking clusters left to right.
+void writeback_row(const Subrow& sr, const RowState& rs, Design& d, bool snap,
+                   LegalizeStats& stats) {
+  for (const Cluster& cl : rs.clusters) {
+    double x = cl.x;
+    for (int i = cl.first_cell; i < cl.last_cell; ++i) {
+      const ClusterCell& cc = rs.cells[static_cast<std::size_t>(i)];
+      double px = x;
+      if (snap) px = snap_to_site(sr, px);
+      Cell& k = d.cell(cc.id);
+      const double disp = std::abs(px - k.pos.x) + std::abs(sr.y - k.pos.y);
+      stats.total_disp += disp;
+      stats.max_disp = std::max(stats.max_disp, disp);
+      k.pos = {px, sr.y};
+      x += cc.w;
+    }
+  }
+}
+
+}  // namespace
+
+LegalizeStats AbacusLegalizer::run(Design& d) {
+  LegalizeStats stats;
+  for (LegalizeGroup& g : build_legalize_groups(d)) {
+    if (g.cells.empty()) continue;
+    SubrowIndex idx(std::move(g.subrows));
+    std::vector<RowState> state(idx.subrows().size());
+
+    std::sort(g.cells.begin(), g.cells.end(), [&](CellId a, CellId b) {
+      return d.cell(a).pos.x < d.cell(b).pos.x;
+    });
+
+    for (const CellId c : g.cells) {
+      Cell& k = d.cell(c);
+      ++stats.cells;
+      const Point target = k.pos;
+      ClusterCell cc{c, k.w, target.x, std::max(1.0, k.area())};
+
+      const int home = idx.nearest_band(target.y);
+      double best_cost = std::numeric_limits<double>::infinity();
+      int best_sr = -1;
+      for (int off = 0; off < idx.num_bands(); ++off) {
+        const int cand[2] = {home - off, home + off};
+        const int ncand = off == 0 ? 1 : 2;
+        bool any = false;
+        for (int ci = 0; ci < ncand; ++ci) {
+          const int b = cand[ci];
+          if (b < 0 || b >= idx.num_bands()) continue;
+          any = true;
+          const double dy = std::abs(idx.band_y(b) - target.y);
+          if (opt_.displacement_weight * dy >= best_cost) continue;
+          const auto [first, last] = idx.band_range(b);
+          for (int s = first; s < last; ++s) {
+            const Subrow& sr = idx.subrows()[static_cast<std::size_t>(s)];
+            const double x =
+                append_and_collapse(sr, state[static_cast<std::size_t>(s)], cc, false);
+            if (std::isnan(x)) continue;
+            const double cost = std::abs(x - target.x) + opt_.displacement_weight * dy;
+            if (cost < best_cost) {
+              best_cost = cost;
+              best_sr = s;
+            }
+          }
+        }
+        if (!any) break;
+        if (best_sr >= 0) {
+          // Vertical distance of the NEXT band pair already exceeds the best
+          // total cost: no better subrow exists further out.
+          double next_dy = std::numeric_limits<double>::infinity();
+          if (home - off - 1 >= 0)
+            next_dy = std::min(next_dy, std::abs(idx.band_y(home - off - 1) - target.y));
+          if (home + off + 1 < idx.num_bands())
+            next_dy = std::min(next_dy, std::abs(idx.band_y(home + off + 1) - target.y));
+          if (opt_.displacement_weight * next_dy >= best_cost) break;
+        }
+      }
+      if (best_sr < 0) {
+        ++stats.failed;
+        RP_WARN("abacus: no subrow for cell '%s' (w=%.1f)", k.name.c_str(), k.w);
+        continue;
+      }
+      append_and_collapse(idx.subrows()[static_cast<std::size_t>(best_sr)],
+                          state[static_cast<std::size_t>(best_sr)], cc, true);
+    }
+
+    for (std::size_t s = 0; s < state.size(); ++s)
+      writeback_row(idx.subrows()[s], state[s], d, opt_.snap_sites, stats);
+  }
+  return stats;
+}
+
+}  // namespace rp

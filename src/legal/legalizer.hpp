@@ -1,0 +1,68 @@
+#pragma once
+// Standard-cell legalizers.
+//
+// Both take a design whose macros are already fixed (the macro legalizer
+// runs first in the flow) and snap every movable standard cell into subrows
+// with no overlap. Fence-region cells are legalized into the subrows clipped
+// to their fence.
+//
+//  * TetrisLegalizer — the classic greedy: cells sorted by x, each placed at
+//    the feasible position minimizing displacement over a window of nearby
+//    subrows (free intervals tracked per subrow, fragment-aware edge
+//    snapping). Fast, moderate quality; like every greedy it cannot
+//    guarantee success at exactly-100% row packing — use Abacus there.
+//  * AbacusLegalizer — row-cluster dynamic programming (Spindler et al.):
+//    cells sorted by x are appended to the best subrow; within a subrow,
+//    colliding cells merge into clusters whose optimal position is the
+//    weighted mean of member targets, clamped to the subrow. Higher quality,
+//    still near-linear.
+
+#include <string>
+
+#include "db/design.hpp"
+
+namespace rp {
+
+struct LegalizeOptions {
+  int row_search_window = 24;  ///< Candidate subrow window (rows above/below).
+  bool snap_sites = false;     ///< Snap x to site grid.
+  double displacement_weight = 1.0;  ///< Weight of Δy vs Δx in candidate cost.
+};
+
+struct LegalizeStats {
+  int cells = 0;
+  int failed = 0;          ///< Cells that found no feasible subrow.
+  double total_disp = 0.0; ///< Σ Manhattan displacement.
+  double max_disp = 0.0;
+  double avg_disp() const { return cells > 0 ? total_disp / cells : 0.0; }
+};
+
+class Legalizer {
+ public:
+  virtual ~Legalizer() = default;
+  virtual std::string name() const = 0;
+  /// Legalize all movable standard cells in place.
+  virtual LegalizeStats run(Design& d) = 0;
+};
+
+class TetrisLegalizer final : public Legalizer {
+ public:
+  explicit TetrisLegalizer(LegalizeOptions opt = {}) : opt_(opt) {}
+  std::string name() const override { return "tetris"; }
+  LegalizeStats run(Design& d) override;
+
+ private:
+  LegalizeOptions opt_;
+};
+
+class AbacusLegalizer final : public Legalizer {
+ public:
+  explicit AbacusLegalizer(LegalizeOptions opt = {}) : opt_(opt) {}
+  std::string name() const override { return "abacus"; }
+  LegalizeStats run(Design& d) override;
+
+ private:
+  LegalizeOptions opt_;
+};
+
+}  // namespace rp

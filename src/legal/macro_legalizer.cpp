@@ -1,0 +1,118 @@
+#include "legal/macro_legalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logger.hpp"
+
+namespace rp {
+
+namespace {
+
+bool feasible(const Rect& r, const Rect& die, const std::vector<Rect>& obstacles,
+              double halo) {
+  if (r.lx < die.lx - 1e-9 || r.ly < die.ly - 1e-9 || r.hx > die.hx + 1e-9 ||
+      r.hy > die.hy + 1e-9)
+    return false;
+  const Rect rh = r.expand(halo);
+  for (const Rect& ob : obstacles)
+    if (rh.overlaps(ob)) return false;
+  return true;
+}
+
+}  // namespace
+
+MacroLegalizeStats legalize_macros(Design& d, const MacroLegalizeOptions& opt) {
+  MacroLegalizeStats stats;
+  const Rect die = d.die();
+  const double rh = d.row_height();
+  const double sw = d.num_rows() > 0 && d.row(0).site_w > 0 ? d.row(0).site_w : 1.0;
+  const double y0 = d.num_rows() > 0 ? d.row(0).y : die.ly;
+
+  // Obstacles: all fixed objects with area.
+  std::vector<Rect> obstacles;
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    const Cell& k = d.cell(c);
+    if (!k.fixed || k.area() <= 0) continue;
+    obstacles.push_back(d.cell_rect(c));
+  }
+
+  std::vector<CellId> movable_macros;
+  for (const CellId c : d.movable_cells())
+    if (d.cell(c).is_macro()) movable_macros.push_back(c);
+  std::sort(movable_macros.begin(), movable_macros.end(), [&](CellId a, CellId b) {
+    return d.cell(a).area() > d.cell(b).area();
+  });
+
+  const double max_radius =
+      opt.max_search_radius_frac * (die.width() + die.height()) / 2.0;
+
+  for (const CellId c : movable_macros) {
+    Cell& k = d.cell(c);
+    ++stats.macros;
+    const Point target = k.pos;
+    // Snap helper: align to rows in y and sites in x, clamped into the die.
+    const auto snap = [&](double x, double y) {
+      double sx = die.lx + std::round((x - die.lx) / sw) * sw;
+      double sy = y0 + std::round((y - y0) / rh) * rh;
+      sx = std::clamp(sx, die.lx, die.hx - k.w);
+      sy = std::clamp(sy, die.ly, die.hy - k.h);
+      // Re-snap after clamping (clamp may break alignment at the far edge;
+      // floor keeps it inside).
+      sx = die.lx + std::floor((sx - die.lx) / sw) * sw;
+      sy = y0 + std::floor((sy - y0) / rh) * rh;
+      return Point{sx, sy};
+    };
+
+    bool placed = false;
+    Point best{};
+    // Expanding square rings of candidates at row-pitch spacing.
+    const double step = rh;
+    for (double radius = 0.0; radius <= max_radius && !placed; radius += step) {
+      double best_d = std::numeric_limits<double>::infinity();
+      const int n = radius == 0.0 ? 1 : std::max(8, static_cast<int>(8 * radius / step));
+      for (int i = 0; i < n; ++i) {
+        double cx = target.x, cy = target.y;
+        if (radius > 0.0) {
+          // Perimeter walk of the square ring.
+          const double t = static_cast<double>(i) / n * 4.0;
+          if (t < 1.0) { cx += radius * (2 * t - 1); cy -= radius; }
+          else if (t < 2.0) { cx += radius; cy += radius * (2 * (t - 1) - 1); }
+          else if (t < 3.0) { cx += radius * (1 - 2 * (t - 2)); cy += radius; }
+          else { cx -= radius; cy += radius * (1 - 2 * (t - 3)); }
+        }
+        const Point p = snap(cx, cy);
+        const Rect r{p.x, p.y, p.x + k.w, p.y + k.h};
+        if (!feasible(r, die, obstacles, opt.halo)) continue;
+        const double dist = std::abs(p.x - target.x) + std::abs(p.y - target.y);
+        if (dist < best_d) {
+          best_d = dist;
+          best = p;
+          placed = true;
+        }
+      }
+    }
+    if (!placed) {
+      ++stats.failed;
+      RP_WARN("macro legalizer: cannot place '%s' (%.0fx%.0f)", k.name.c_str(), k.w, k.h);
+      continue;
+    }
+    const double disp = std::abs(best.x - target.x) + std::abs(best.y - target.y);
+    stats.total_disp += disp;
+    stats.max_disp = std::max(stats.max_disp, disp);
+    k.pos = best;
+    obstacles.push_back(d.cell_rect(c));
+  }
+  return stats;
+}
+
+void freeze_macros(Design& d) {
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    Cell& k = d.cell(c);
+    if (k.is_macro() && !k.fixed) k.fixed = true;
+  }
+  d.refresh_derived();
+}
+
+}  // namespace rp

@@ -1,0 +1,35 @@
+#pragma once
+// Macro legalization: snap movable macros to overlap-free, row-aligned
+// positions near their global-placement locations.
+//
+// Macros are processed largest-first (hardest to fit). Each searches an
+// expanding ring of row/site-aligned candidate positions around its target
+// and takes the nearest collision-free one (against the die boundary, fixed
+// objects, and previously legalized macros, with an optional halo that
+// preserves routing channels between macros). After this pass the flow
+// freezes macros, so the standard-cell legalizer sees them as obstacles.
+
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace rp {
+
+struct MacroLegalizeOptions {
+  double halo = 0.0;        ///< Min spacing kept around each macro (die units).
+  double max_search_radius_frac = 1.0;  ///< Fraction of die half-perimeter.
+};
+
+struct MacroLegalizeStats {
+  int macros = 0;
+  int failed = 0;
+  double total_disp = 0.0;
+  double max_disp = 0.0;
+};
+
+MacroLegalizeStats legalize_macros(Design& d, const MacroLegalizeOptions& opt = {});
+
+/// Mark all movable macros fixed (after legalization).
+void freeze_macros(Design& d);
+
+}  // namespace rp

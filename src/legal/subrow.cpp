@@ -1,0 +1,161 @@
+#include "legal/subrow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rp {
+
+std::vector<Subrow> build_subrows(const Design& d, double min_width) {
+  // Collect fixed obstacles (anything not movable with positive area).
+  std::vector<Rect> obstacles;
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    const Cell& k = d.cell(c);
+    if (k.movable() || k.area() <= 0) continue;
+    const Rect r = d.cell_rect(c).intersect(d.die());
+    if (r.width() > 0 && r.height() > 0) obstacles.push_back(r);
+  }
+
+  std::vector<Subrow> out;
+  for (int ri = 0; ri < d.num_rows(); ++ri) {
+    const Row& row = d.row(ri);
+    const double y0 = row.y, y1 = row.y + row.height;
+    const double lx = std::max(row.lx, d.die().lx);
+    const double hx = std::min(row.hx, d.die().hx);
+    if (hx - lx < min_width) continue;
+
+    // Blocked x-intervals on this row.
+    std::vector<Interval> blocked;
+    for (const Rect& ob : obstacles) {
+      if (ob.ly < y1 - 1e-9 && ob.hy > y0 + 1e-9)
+        blocked.push_back({ob.lx, ob.hx});
+    }
+    std::sort(blocked.begin(), blocked.end(),
+              [](Interval a, Interval b) { return a.lo < b.lo; });
+
+    double cur = lx;
+    const auto emit = [&](double a, double b) {
+      if (b - a < min_width) return;
+      Subrow sr;
+      sr.y = y0;
+      sr.height = row.height;
+      sr.lx = a;
+      sr.hx = b;
+      sr.site_w = row.site_w > 0 ? row.site_w : 1.0;
+      sr.row_index = ri;
+      out.push_back(sr);
+    };
+    for (const Interval& b : blocked) {
+      if (b.lo > cur) emit(cur, std::min(b.lo, hx));
+      cur = std::max(cur, b.hi);
+      if (cur >= hx) break;
+    }
+    if (cur < hx) emit(cur, hx);
+  }
+  std::sort(out.begin(), out.end(), [](const Subrow& a, const Subrow& b) {
+    return a.y != b.y ? a.y < b.y : a.lx < b.lx;
+  });
+  return out;
+}
+
+std::vector<Subrow> clip_subrows(const std::vector<Subrow>& subrows, const Rect& fence) {
+  std::vector<Subrow> out;
+  for (const Subrow& sr : subrows) {
+    if (sr.y < fence.ly - 1e-9 || sr.y + sr.height > fence.hy + 1e-9) continue;
+    Subrow c = sr;
+    c.lx = std::max(c.lx, fence.lx);
+    c.hx = std::min(c.hx, fence.hx);
+    if (c.width() > 0) out.push_back(c);
+  }
+  return out;
+}
+
+double snap_to_site(const Subrow& sr, double x) {
+  const double k = std::floor((x - sr.lx) / sr.site_w + 0.5);
+  return sr.lx + k * sr.site_w;
+}
+
+std::vector<Subrow> subtract_rects(const std::vector<Subrow>& subrows,
+                                   const std::vector<Rect>& rects, double min_width) {
+  std::vector<Subrow> out;
+  for (const Subrow& sr : subrows) {
+    // Blocked x-intervals from rects that overlap this row vertically.
+    std::vector<Interval> blocked;
+    for (const Rect& r : rects) {
+      if (r.ly < sr.y + sr.height - 1e-9 && r.hy > sr.y + 1e-9)
+        blocked.push_back({r.lx, r.hx});
+    }
+    if (blocked.empty()) {
+      out.push_back(sr);
+      continue;
+    }
+    std::sort(blocked.begin(), blocked.end(),
+              [](Interval a, Interval b) { return a.lo < b.lo; });
+    double cur = sr.lx;
+    const auto emit = [&](double a, double b) {
+      if (b - a < min_width) return;
+      Subrow s = sr;
+      s.lx = a;
+      s.hx = b;
+      out.push_back(s);
+    };
+    for (const Interval& b : blocked) {
+      if (b.lo > cur) emit(cur, std::min(b.lo, sr.hx));
+      cur = std::max(cur, b.hi);
+      if (cur >= sr.hx) break;
+    }
+    if (cur < sr.hx) emit(cur, sr.hx);
+  }
+  return out;
+}
+
+std::vector<LegalizeGroup> build_legalize_groups(const Design& d) {
+  const std::vector<Subrow> all = build_subrows(d);
+  std::vector<LegalizeGroup> groups(static_cast<std::size_t>(d.num_regions() + 1));
+  std::vector<Rect> fence_rects;
+  for (int r = 0; r < d.num_regions(); ++r) {
+    auto& g = groups[static_cast<std::size_t>(r + 1)];
+    for (const Rect& fr : d.region(r).rects) {
+      const auto clipped = clip_subrows(all, fr);
+      g.subrows.insert(g.subrows.end(), clipped.begin(), clipped.end());
+      fence_rects.push_back(fr);
+    }
+  }
+  // Fences are exclusive: unfenced cells must stay out of them.
+  groups[0].subrows = subtract_rects(all, fence_rects);
+  for (const CellId c : d.movable_cells()) {
+    const Cell& k = d.cell(c);
+    if (k.kind != CellKind::StdCell) continue;  // macros legalized separately
+    groups[static_cast<std::size_t>(k.region + 1)].cells.push_back(c);
+  }
+  return groups;
+}
+
+SubrowIndex::SubrowIndex(std::vector<Subrow> subrows) : subrows_(std::move(subrows)) {
+  std::sort(subrows_.begin(), subrows_.end(), [](const Subrow& a, const Subrow& b) {
+    return a.y != b.y ? a.y < b.y : a.lx < b.lx;
+  });
+  for (int i = 0; i < static_cast<int>(subrows_.size()); ++i) {
+    if (bands_.empty() || subrows_[static_cast<std::size_t>(i)].y != bands_.back().y) {
+      bands_.push_back({subrows_[static_cast<std::size_t>(i)].y, i, i + 1});
+    } else {
+      bands_.back().last = i + 1;
+    }
+  }
+}
+
+int SubrowIndex::nearest_band(double y) const {
+  if (bands_.empty()) return -1;
+  int lo = 0, hi = static_cast<int>(bands_.size()) - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (bands_[static_cast<std::size_t>(mid)].y < y) lo = mid + 1;
+    else hi = mid;
+  }
+  // lo is the first band with y >= target; the one below may be closer.
+  if (lo > 0 && std::abs(bands_[static_cast<std::size_t>(lo - 1)].y - y) <
+                    std::abs(bands_[static_cast<std::size_t>(lo)].y - y))
+    return lo - 1;
+  return lo;
+}
+
+}  // namespace rp

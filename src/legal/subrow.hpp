@@ -1,0 +1,79 @@
+#pragma once
+// Subrows: the free segments of placement rows after subtracting fixed
+// objects (pre-placed/legalized macros, blockages). Both standard-cell
+// legalizers place into subrows, which makes them obstacle- and (single-rect)
+// fence-aware for free.
+
+#include <utility>
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace rp {
+
+struct Subrow {
+  double y = 0.0;       ///< Row bottom.
+  double height = 0.0;
+  double lx = 0.0;
+  double hx = 0.0;
+  double site_w = 1.0;
+  int row_index = -1;   ///< Originating design row.
+
+  double width() const { return hx - lx; }
+};
+
+/// Cut every design row by the fixed objects currently in the design.
+/// Segments narrower than `min_width` are dropped. Rows are clipped to the
+/// die. Result is sorted by (y, lx).
+std::vector<Subrow> build_subrows(const Design& d, double min_width = 1.0);
+
+/// Restrict subrows to one fence rect (for legalizing fenced cells).
+std::vector<Subrow> clip_subrows(const std::vector<Subrow>& subrows, const Rect& fence);
+
+/// Remove the given rects from the subrows (for keeping UNFENCED cells out
+/// of exclusive fence regions): any subrow segment overlapping a rect
+/// vertically gets its x-range cut. Segments narrower than min_width drop.
+std::vector<Subrow> subtract_rects(const std::vector<Subrow>& subrows,
+                                   const std::vector<Rect>& rects,
+                                   double min_width = 1.0);
+
+/// Per-fence-region legalization groups: group 0 holds unfenced std cells
+/// with the fence areas carved out of its subrows; group r+1 holds region
+/// r's cells with subrows clipped to that fence. Movable macros excluded.
+struct LegalizeGroup {
+  std::vector<CellId> cells;
+  std::vector<Subrow> subrows;
+};
+std::vector<LegalizeGroup> build_legalize_groups(const Design& d);
+
+/// Snap an x coordinate to the subrow's site grid (toward the left edge).
+double snap_to_site(const Subrow& sr, double x);
+
+/// Y-band index over a sorted subrow list: maps a target y to the nearest
+/// row band and exposes each band's subrow range, so legalizers can walk
+/// candidate rows outward from the target.
+class SubrowIndex {
+ public:
+  explicit SubrowIndex(std::vector<Subrow> subrows);
+
+  const std::vector<Subrow>& subrows() const { return subrows_; }
+  int num_bands() const { return static_cast<int>(bands_.size()); }
+  double band_y(int b) const { return bands_[static_cast<std::size_t>(b)].y; }
+  /// Subrow index range [first, last) of band b.
+  std::pair<int, int> band_range(int b) const {
+    const auto& bd = bands_[static_cast<std::size_t>(b)];
+    return {bd.first, bd.last};
+  }
+  /// Band whose y is closest to the given y.
+  int nearest_band(double y) const;
+
+ private:
+  struct Band {
+    double y;
+    int first, last;
+  };
+  std::vector<Subrow> subrows_;
+  std::vector<Band> bands_;
+};
+
+}  // namespace rp

@@ -1,0 +1,159 @@
+// Tetris-style greedy legalization with free-interval tracking.
+//
+// Cells are processed in ascending target-x order (the classic tetris
+// schedule); each candidate subrow keeps its FREE INTERVALS rather than a
+// single left cursor, so space left of an earlier placement is never
+// stranded and each cell lands at the feasible position closest to its
+// target. Bands are scanned outward from the target row with a lower-bound
+// prune on the unavoidable vertical displacement.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "legal/legalizer.hpp"
+#include "legal/subrow.hpp"
+#include "util/logger.hpp"
+
+namespace rp {
+
+namespace {
+
+/// Sorted disjoint free x-intervals of one subrow.
+struct SubrowFree {
+  std::vector<Interval> free;
+
+  /// Best feasible x for width w near target tx; NaN if none fits.
+  /// Positions snap to an interval edge when the leftover fragment would be
+  /// narrower than half the cell — unbounded fragmentation would otherwise
+  /// make dense (near-100%) rows unpackable for the greedy.
+  double best_position(double tx, double w) const {
+    double best = std::numeric_limits<double>::quiet_NaN();
+    double best_d = std::numeric_limits<double>::infinity();
+    for (const Interval& iv : free) {
+      if (iv.length() < w) continue;
+      double x = std::clamp(tx, iv.lo, iv.hi - w);
+      // Snap to the interval edge when the leftover fragment would be
+      // narrower than the cell itself (dead space for this width class).
+      if (x - iv.lo < w) x = iv.lo;
+      else if (iv.hi - (x + w) < w) x = iv.hi - w;
+      const double dist = std::abs(x - tx);
+      if (dist < best_d) {
+        best_d = dist;
+        best = x;
+      }
+      // Intervals are sorted; once an interval starts beyond the current
+      // best distance to the right, nothing better can follow.
+      if (iv.lo > tx && iv.lo - tx > best_d) break;
+    }
+    return best;
+  }
+
+  /// Carve [x, x+w) out of the free set (must lie inside one interval).
+  void occupy(double x, double w) {
+    for (std::size_t i = 0; i < free.size(); ++i) {
+      Interval& iv = free[i];
+      if (x < iv.lo - 1e-9 || x + w > iv.hi + 1e-9) continue;
+      const Interval right{x + w, iv.hi};
+      iv.hi = x;
+      const bool keep_left = iv.length() > 1e-9;
+      if (!keep_left) free.erase(free.begin() + static_cast<long>(i));
+      if (right.length() > 1e-9) {
+        // Insert after the (possibly removed) left fragment, keeping order.
+        const auto pos = std::lower_bound(
+            free.begin(), free.end(), right.lo,
+            [](const Interval& a, double lo) { return a.lo < lo; });
+        free.insert(pos, right);
+      }
+      return;
+    }
+  }
+};
+
+}  // namespace
+
+LegalizeStats TetrisLegalizer::run(Design& d) {
+  LegalizeStats stats;
+  for (LegalizeGroup& g : build_legalize_groups(d)) {
+    if (g.cells.empty()) continue;
+    SubrowIndex idx(std::move(g.subrows));
+    std::vector<SubrowFree> state(idx.subrows().size());
+    for (std::size_t i = 0; i < state.size(); ++i)
+      state[i].free.push_back({idx.subrows()[i].lx, idx.subrows()[i].hx});
+
+    std::sort(g.cells.begin(), g.cells.end(), [&](CellId a, CellId b) {
+      return d.cell(a).pos.x < d.cell(b).pos.x;
+    });
+
+    for (const CellId c : g.cells) {
+      Cell& k = d.cell(c);
+      ++stats.cells;
+      const Point target = k.pos;
+      const int home = idx.nearest_band(target.y);
+      double best_cost = std::numeric_limits<double>::infinity();
+      int best_sr = -1;
+      double best_x = 0.0;
+      // Walk bands outward from the target row; stop once the unavoidable
+      // vertical displacement alone exceeds the best cost so far.
+      for (int off = 0; off < idx.num_bands(); ++off) {
+        const int cand[2] = {home - off, home + off};
+        const int ncand = off == 0 ? 1 : 2;
+        bool any_band = false;
+        for (int ci = 0; ci < ncand; ++ci) {
+          const int b = cand[ci];
+          if (b < 0 || b >= idx.num_bands()) continue;
+          any_band = true;
+          const double dy = std::abs(idx.band_y(b) - target.y);
+          if (opt_.displacement_weight * dy >= best_cost) continue;
+          const auto [first, last] = idx.band_range(b);
+          for (int s = first; s < last; ++s) {
+            const Subrow& sr = idx.subrows()[static_cast<std::size_t>(s)];
+            double x = state[static_cast<std::size_t>(s)].best_position(target.x, k.w);
+            if (std::isnan(x)) continue;
+            if (opt_.snap_sites) {
+              const double snapped = snap_to_site(sr, x);
+              // Snapping must stay inside the chosen interval; try both
+              // neighbors of the snap point.
+              for (const double cand_x : {snapped, snapped + sr.site_w}) {
+                if (!std::isnan(state[static_cast<std::size_t>(s)].best_position(cand_x,
+                                                                                 k.w)) &&
+                    std::abs(state[static_cast<std::size_t>(s)].best_position(cand_x, k.w) -
+                             cand_x) < 1e-9) {
+                  x = cand_x;
+                  break;
+                }
+              }
+            }
+            const double cost = std::abs(x - target.x) + opt_.displacement_weight * dy;
+            if (cost < best_cost) {
+              best_cost = cost;
+              best_sr = s;
+              best_x = x;
+            }
+          }
+        }
+        if (!any_band) break;
+        double next_dy = std::numeric_limits<double>::infinity();
+        if (home - off - 1 >= 0)
+          next_dy = std::min(next_dy, std::abs(idx.band_y(home - off - 1) - target.y));
+        if (home + off + 1 < idx.num_bands())
+          next_dy = std::min(next_dy, std::abs(idx.band_y(home + off + 1) - target.y));
+        if (best_sr >= 0 && opt_.displacement_weight * next_dy >= best_cost) break;
+      }
+      if (best_sr < 0) {
+        ++stats.failed;
+        RP_WARN("tetris: no subrow for cell '%s' (w=%.1f)", k.name.c_str(), k.w);
+        continue;
+      }
+      const Subrow& sr = idx.subrows()[static_cast<std::size_t>(best_sr)];
+      k.pos = {best_x, sr.y};
+      state[static_cast<std::size_t>(best_sr)].occupy(best_x, k.w);
+      const double disp = std::abs(best_x - target.x) + std::abs(sr.y - target.y);
+      stats.total_disp += disp;
+      stats.max_disp = std::max(stats.max_disp, disp);
+    }
+  }
+  return stats;
+}
+
+}  // namespace rp

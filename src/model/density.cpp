@@ -1,0 +1,217 @@
+#include "model/density.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace rp {
+
+namespace {
+
+/// One axis of the bell-shaped potential.
+///   d1 = w/2 + bin, d2 = w/2 + 2·bin
+///   p(d) = 1 - a·d²        for |d| ≤ d1      a = 1/(d1·d2)
+///        = b·(|d| - d2)²   for d1 < |d| ≤ d2  b = 1/(bin·d2)
+///        = 0               beyond
+/// C1-continuous at d1 and d2 by construction.
+struct Bell {
+  double d1, d2, a, b;
+
+  Bell(double w, double bin) {
+    d1 = w / 2 + bin;
+    d2 = w / 2 + 2 * bin;
+    a = 1.0 / (d1 * d2);
+    b = 1.0 / (bin * d2);
+  }
+  double value(double dx) const {
+    const double d = std::abs(dx);
+    if (d <= d1) return 1.0 - a * d * d;
+    if (d <= d2) {
+      const double t = d - d2;
+      return b * t * t;
+    }
+    return 0.0;
+  }
+  /// d p / d dx (signed).
+  double deriv(double dx) const {
+    const double d = std::abs(dx);
+    const double sign = dx >= 0 ? 1.0 : -1.0;
+    if (d <= d1) return -2.0 * a * d * sign;
+    if (d <= d2) return 2.0 * b * (d - d2) * sign;
+    return 0.0;
+  }
+};
+
+}  // namespace
+
+int auto_bin_count(int num_movable) {
+  int target = static_cast<int>(std::sqrt(std::max(1, num_movable)));
+  int n = 8;
+  while (n < target && n < 1024) n *= 2;
+  return n;
+}
+
+DensityModel::DensityModel(const PlaceProblem& p, const DensityConfig& cfg) {
+  int movable = 0;
+  for (const auto& n : p.nodes)
+    if (!n.fixed) ++movable;
+  const int nx = cfg.nx > 0 ? cfg.nx : auto_bin_count(movable);
+  const int ny = cfg.ny > 0 ? cfg.ny : auto_bin_count(movable);
+  grid_ = GridMap(p.die, nx, ny);
+  xc_.resize(static_cast<std::size_t>(nx));
+  yc_.resize(static_cast<std::size_t>(ny));
+  for (int ix = 0; ix < nx; ++ix) xc_[static_cast<std::size_t>(ix)] = grid_.bin_center(ix, 0).x;
+  for (int iy = 0; iy < ny; ++iy) yc_[static_cast<std::size_t>(iy)] = grid_.bin_center(0, iy).y;
+  target_density_ = cfg.target_density;
+  scale_ = Grid2D<double>(nx, ny, 1.0);
+  dens_ = Grid2D<double>(nx, ny, 0.0);
+  resid_ = Grid2D<double>(nx, ny, 0.0);
+  rebuild_fixed(p);
+}
+
+void DensityModel::rebuild_fixed(const PlaceProblem& p) {
+  fixed_area_ = Grid2D<double>(grid_.nx(), grid_.ny(), 0.0);
+  for (int v = 0; v < p.num_nodes(); ++v) {
+    const auto& n = p.nodes[static_cast<std::size_t>(v)];
+    if (!n.fixed) continue;
+    const double cx = p.x[static_cast<std::size_t>(v)];
+    const double cy = p.y[static_cast<std::size_t>(v)];
+    const Rect r{cx - n.w / 2, cy - n.h / 2, cx + n.w / 2, cy + n.h / 2};
+    grid_.rasterize(r, [&](int ix, int iy, double a) { fixed_area_(ix, iy) += a; });
+  }
+  rebuild_capacity();
+}
+
+void DensityModel::rebuild_capacity() {
+  cap_ = Grid2D<double>(grid_.nx(), grid_.ny(), 0.0);
+  const double ba = grid_.bin_area();
+  for (int iy = 0; iy < grid_.ny(); ++iy)
+    for (int ix = 0; ix < grid_.nx(); ++ix) {
+      const double free_area = std::max(0.0, ba - fixed_area_(ix, iy));
+      cap_(ix, iy) = target_density_ * free_area * scale_(ix, iy);
+    }
+}
+
+void DensityModel::apply_capacity_scale(const Grid2D<double>& scale) {
+  RP_ASSERT(scale.nx() == grid_.nx() && scale.ny() == grid_.ny(),
+            "capacity scale grid size mismatch");
+  scale_ = scale;
+  rebuild_capacity();
+}
+
+double DensityModel::eval(const PlaceProblem& p, std::span<double> gx,
+                          std::span<double> gy) {
+  if (gx.size() != p.nodes.size() || gy.size() != p.nodes.size())
+    throw std::runtime_error("density eval: gradient span size mismatch");
+  const int nx = grid_.nx(), ny = grid_.ny();
+  const double bw = grid_.bin_w(), bh = grid_.bin_h();
+  dens_.fill(0.0);
+
+  // Pass 1: accumulate smoothed density.
+  // Per-node normalization c_v is recomputed identically in pass 2; cache the
+  // bell sums to avoid re-summing (store per node).
+  std::vector<double> csum(p.nodes.size(), 0.0);
+  for (int v = 0; v < p.num_nodes(); ++v) {
+    const auto& n = p.nodes[static_cast<std::size_t>(v)];
+    if (n.fixed) continue;
+    const double cx = p.x[static_cast<std::size_t>(v)];
+    const double cy = p.y[static_cast<std::size_t>(v)];
+    const Bell bx(n.w, bw), by(n.h, bh);
+    const int ix0 = std::max(0, grid_.ix_of(cx - bx.d2) - 1);
+    const int ix1 = std::min(nx - 1, grid_.ix_of(cx + bx.d2) + 1);
+    const int iy0 = std::max(0, grid_.iy_of(cy - by.d2) - 1);
+    const int iy1 = std::min(ny - 1, grid_.iy_of(cy + by.d2) + 1);
+    double s = 0.0;
+    for (int iy = iy0; iy <= iy1; ++iy) {
+      const double py = by.value(cy - yc_[static_cast<std::size_t>(iy)]);
+      if (py == 0.0) continue;
+      for (int ix = ix0; ix <= ix1; ++ix) {
+        const double px = bx.value(cx - xc_[static_cast<std::size_t>(ix)]);
+        s += px * py;
+      }
+    }
+    if (s <= 0.0) continue;
+    const double cv =
+        n.area() * p.inflate[static_cast<std::size_t>(v)] / s;
+    csum[static_cast<std::size_t>(v)] = cv;
+    for (int iy = iy0; iy <= iy1; ++iy) {
+      const double py = by.value(cy - yc_[static_cast<std::size_t>(iy)]);
+      if (py == 0.0) continue;
+      for (int ix = ix0; ix <= ix1; ++ix) {
+        const double px = bx.value(cx - xc_[static_cast<std::size_t>(ix)]);
+        if (px != 0.0) dens_(ix, iy) += cv * px * py;
+      }
+    }
+  }
+
+  // Residuals and penalty value.
+  double penalty = 0.0;
+  for (int iy = 0; iy < ny; ++iy)
+    for (int ix = 0; ix < nx; ++ix) {
+      const double r = std::max(0.0, dens_(ix, iy) - cap_(ix, iy));
+      resid_(ix, iy) = r;
+      penalty += r * r;
+    }
+
+  // Pass 2: gradients.  dN/dx_v = Σ_b 2·R_b · c_v · px'(cx-xb) · py.
+  for (int v = 0; v < p.num_nodes(); ++v) {
+    const auto& n = p.nodes[static_cast<std::size_t>(v)];
+    if (n.fixed || csum[static_cast<std::size_t>(v)] == 0.0) continue;
+    const double cx = p.x[static_cast<std::size_t>(v)];
+    const double cy = p.y[static_cast<std::size_t>(v)];
+    const Bell bx(n.w, bw), by(n.h, bh);
+    const int ix0 = std::max(0, grid_.ix_of(cx - bx.d2) - 1);
+    const int ix1 = std::min(nx - 1, grid_.ix_of(cx + bx.d2) + 1);
+    const int iy0 = std::max(0, grid_.iy_of(cy - by.d2) - 1);
+    const int iy1 = std::min(ny - 1, grid_.iy_of(cy + by.d2) + 1);
+    const double cv = csum[static_cast<std::size_t>(v)];
+    double dgx = 0.0, dgy = 0.0;
+    for (int iy = iy0; iy <= iy1; ++iy) {
+      const double dy = cy - yc_[static_cast<std::size_t>(iy)];
+      const double py = by.value(dy);
+      const double dpy = by.deriv(dy);
+      for (int ix = ix0; ix <= ix1; ++ix) {
+        const double r = resid_(ix, iy);
+        if (r == 0.0) continue;
+        const double dx = cx - xc_[static_cast<std::size_t>(ix)];
+        const double px = bx.value(dx);
+        const double dpx = bx.deriv(dx);
+        dgx += 2.0 * r * cv * dpx * py;
+        dgy += 2.0 * r * cv * px * dpy;
+      }
+    }
+    gx[static_cast<std::size_t>(v)] += dgx;
+    gy[static_cast<std::size_t>(v)] += dgy;
+  }
+  return penalty;
+}
+
+Grid2D<double> DensityModel::rasterized_density(const PlaceProblem& p) const {
+  Grid2D<double> g(grid_.nx(), grid_.ny(), 0.0);
+  for (int v = 0; v < p.num_nodes(); ++v) {
+    const auto& n = p.nodes[static_cast<std::size_t>(v)];
+    if (n.fixed) continue;
+    const double cx = p.x[static_cast<std::size_t>(v)];
+    const double cy = p.y[static_cast<std::size_t>(v)];
+    const double infl = std::sqrt(p.inflate[static_cast<std::size_t>(v)]);
+    const double w = n.w * infl, h = n.h * infl;
+    const Rect r{cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2};
+    grid_.rasterize(r, [&](int ix, int iy, double a) { g(ix, iy) += a; });
+  }
+  return g;
+}
+
+double DensityModel::overflow(const PlaceProblem& p) const {
+  const Grid2D<double> g = rasterized_density(p);
+  double over = 0.0, area = 0.0;
+  for (int iy = 0; iy < grid_.ny(); ++iy)
+    for (int ix = 0; ix < grid_.nx(); ++ix)
+      over += std::max(0.0, g(ix, iy) - cap_(ix, iy));
+  for (const auto& n : p.nodes)
+    if (!n.fixed) area += n.area();
+  return area > 0 ? over / area : 0.0;
+}
+
+}  // namespace rp

@@ -1,0 +1,129 @@
+#include "model/wirelength.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rp {
+
+double WirelengthModel::value(const PlaceProblem& p) const {
+  std::vector<double> gx(p.nodes.size(), 0.0), gy(p.nodes.size(), 0.0);
+  return eval(p, gx, gy);
+}
+
+namespace {
+
+/// Per-net scratch reused across nets to avoid allocation.
+struct Scratch {
+  std::vector<double> coord;  // pin coordinate on the current axis
+  std::vector<double> ep;     // e^{(c - max)/γ}
+  std::vector<double> em;     // e^{(min - c)/γ}
+};
+
+/// One axis of one net under LSE. Returns the net's smoothed extent and
+/// writes per-pin gradient into dcoord (dWL/d(pin coordinate)).
+double lse_axis(const std::vector<double>& c, double gamma, std::vector<double>& dcoord,
+                Scratch& s) {
+  const std::size_t n = c.size();
+  const auto [mn_it, mx_it] = std::minmax_element(c.begin(), c.end());
+  const double mn = *mn_it, mx = *mx_it;
+  s.ep.resize(n);
+  s.em.resize(n);
+  double sp = 0, sm = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sp += s.ep[i] = std::exp((c[i] - mx) / gamma);
+    sm += s.em[i] = std::exp((mn - c[i]) / gamma);
+  }
+  dcoord.resize(n);
+  for (std::size_t i = 0; i < n; ++i) dcoord[i] = s.ep[i] / sp - s.em[i] / sm;
+  return (mx - mn) + gamma * (std::log(sp) + std::log(sm));
+}
+
+/// One axis of one net under WA.
+double wa_axis(const std::vector<double>& c, double gamma, std::vector<double>& dcoord,
+               Scratch& s) {
+  const std::size_t n = c.size();
+  const auto [mn_it, mx_it] = std::minmax_element(c.begin(), c.end());
+  const double mn = *mn_it, mx = *mx_it;
+  s.ep.resize(n);
+  s.em.resize(n);
+  double sp = 0, sm = 0, wsp = 0, wsm = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ep = std::exp((c[i] - mx) / gamma);
+    const double em = std::exp((mn - c[i]) / gamma);
+    s.ep[i] = ep;
+    s.em[i] = em;
+    sp += ep;
+    sm += em;
+    wsp += c[i] * ep;
+    wsm += c[i] * em;
+  }
+  const double xmax = wsp / sp;  // smoothed max
+  const double xmin = wsm / sm;  // smoothed min
+  dcoord.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // d(xmax)/dci = e_i (1 + (c_i - xmax)/γ) / sp ; analogously for xmin.
+    const double dmax = s.ep[i] * (1.0 + (c[i] - xmax) / gamma) / sp;
+    const double dmin = s.em[i] * (1.0 - (c[i] - xmin) / gamma) / sm;
+    dcoord[i] = dmax - dmin;
+  }
+  return xmax - xmin;
+}
+
+template <typename AxisFn>
+double eval_impl(const PlaceProblem& p, std::span<double> gx, std::span<double> gy,
+                 double gamma, AxisFn&& axis) {
+  if (gx.size() != p.nodes.size() || gy.size() != p.nodes.size())
+    throw std::runtime_error("wirelength eval: gradient span size mismatch");
+  Scratch s;
+  std::vector<double> coord, dcoord;
+  double total = 0.0;
+  for (const PlaceNet& net : p.nets) {
+    const int deg = net.degree();
+    if (deg < 2) continue;
+    // x axis
+    coord.resize(static_cast<std::size_t>(deg));
+    for (int i = 0; i < deg; ++i) {
+      const PlacePin& pin = p.pins[static_cast<std::size_t>(net.pin_begin + i)];
+      coord[static_cast<std::size_t>(i)] = p.x[static_cast<std::size_t>(pin.node)] + pin.ox;
+    }
+    total += net.weight * axis(coord, gamma, dcoord, s);
+    for (int i = 0; i < deg; ++i) {
+      const PlacePin& pin = p.pins[static_cast<std::size_t>(net.pin_begin + i)];
+      gx[static_cast<std::size_t>(pin.node)] += net.weight * dcoord[static_cast<std::size_t>(i)];
+    }
+    // y axis
+    for (int i = 0; i < deg; ++i) {
+      const PlacePin& pin = p.pins[static_cast<std::size_t>(net.pin_begin + i)];
+      coord[static_cast<std::size_t>(i)] = p.y[static_cast<std::size_t>(pin.node)] + pin.oy;
+    }
+    total += net.weight * axis(coord, gamma, dcoord, s);
+    for (int i = 0; i < deg; ++i) {
+      const PlacePin& pin = p.pins[static_cast<std::size_t>(net.pin_begin + i)];
+      gy[static_cast<std::size_t>(pin.node)] += net.weight * dcoord[static_cast<std::size_t>(i)];
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double LseWirelength::eval(const PlaceProblem& p, std::span<double> gx,
+                           std::span<double> gy) const {
+  return eval_impl(p, gx, gy, gamma_, lse_axis);
+}
+
+double WaWirelength::eval(const PlaceProblem& p, std::span<double> gx,
+                          std::span<double> gy) const {
+  return eval_impl(p, gx, gy, gamma_, wa_axis);
+}
+
+std::unique_ptr<WirelengthModel> make_wirelength_model(const std::string& name,
+                                                       double gamma) {
+  if (name == "LSE" || name == "lse") return std::make_unique<LseWirelength>(gamma);
+  if (name == "WA" || name == "wa") return std::make_unique<WaWirelength>(gamma);
+  throw std::runtime_error("unknown wirelength model '" + name + "'");
+}
+
+}  // namespace rp

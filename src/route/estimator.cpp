@@ -1,0 +1,121 @@
+#include "route/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rp {
+
+std::vector<std::pair<int, int>> net_topology(const std::vector<Point>& pts) {
+  const int k = static_cast<int>(pts.size());
+  std::vector<std::pair<int, int>> seg;
+  if (k < 2) return seg;
+  if (k == 2) {
+    seg.emplace_back(0, 1);
+    return seg;
+  }
+  if (k > 128) {
+    // Degenerate huge nets (clock/reset): chain pins sorted by x+y. Linear,
+    // and close enough for congestion purposes.
+    std::vector<int> ord(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) ord[static_cast<std::size_t>(i)] = i;
+    std::sort(ord.begin(), ord.end(), [&](int a, int b) {
+      const auto& pa = pts[static_cast<std::size_t>(a)];
+      const auto& pb = pts[static_cast<std::size_t>(b)];
+      return pa.x + pa.y < pb.x + pb.y;
+    });
+    for (int i = 0; i + 1 < k; ++i)
+      seg.emplace_back(ord[static_cast<std::size_t>(i)], ord[static_cast<std::size_t>(i + 1)]);
+    return seg;
+  }
+  // Prim with Manhattan distances.
+  std::vector<bool> in(static_cast<std::size_t>(k), false);
+  std::vector<double> dist(static_cast<std::size_t>(k),
+                           std::numeric_limits<double>::infinity());
+  std::vector<int> from(static_cast<std::size_t>(k), 0);
+  in[0] = true;
+  for (int j = 1; j < k; ++j) {
+    dist[static_cast<std::size_t>(j)] = manhattan(pts[0], pts[static_cast<std::size_t>(j)]);
+  }
+  for (int added = 1; added < k; ++added) {
+    int best = -1;
+    double bd = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < k; ++j) {
+      if (!in[static_cast<std::size_t>(j)] && dist[static_cast<std::size_t>(j)] < bd) {
+        bd = dist[static_cast<std::size_t>(j)];
+        best = j;
+      }
+    }
+    in[static_cast<std::size_t>(best)] = true;
+    seg.emplace_back(from[static_cast<std::size_t>(best)], best);
+    for (int j = 0; j < k; ++j) {
+      if (in[static_cast<std::size_t>(j)]) continue;
+      const double nd = manhattan(pts[static_cast<std::size_t>(best)],
+                                  pts[static_cast<std::size_t>(j)]);
+      if (nd < dist[static_cast<std::size_t>(j)]) {
+        dist[static_cast<std::size_t>(j)] = nd;
+        from[static_cast<std::size_t>(j)] = best;
+      }
+    }
+  }
+  return seg;
+}
+
+Grid2D<double> rudy_map(const Design& d, const GridMap& grid) {
+  Grid2D<double> g(grid.nx(), grid.ny(), 0.0);
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    if (d.net(n).degree() < 2) continue;
+    Rect bb = d.net_bbox(n);
+    // Degenerate (collinear) boxes still consume wiring width ~ one tile.
+    bb.hx = std::max(bb.hx, bb.lx + grid.bin_w());
+    bb.hy = std::max(bb.hy, bb.ly + grid.bin_h());
+    const double demand = (bb.width() + bb.height()) / bb.area();
+    grid.rasterize(bb, [&](int ix, int iy, double a) { g(ix, iy) += demand * a; });
+  }
+  return g;
+}
+
+namespace {
+
+/// Deposit one track of demand (weight w) on the straight horizontal run of
+/// tiles y=iy, x in [x0, x1) boundaries.
+void add_h_run(RoutingGrid& rg, int iy, int x0, int x1, double w) {
+  for (int ix = std::min(x0, x1); ix < std::max(x0, x1); ++ix) rg.add_h(ix, iy, w);
+}
+void add_v_run(RoutingGrid& rg, int ix, int y0, int y1, double w) {
+  for (int iy = std::min(y0, y1); iy < std::max(y0, y1); ++iy) rg.add_v(ix, iy, w);
+}
+
+}  // namespace
+
+void estimate_probabilistic(const Design& d, RoutingGrid& rg) {
+  rg.clear_usage();
+  const GridMap& m = rg.map();
+  std::vector<Point> pts;
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    if (net.degree() < 2) continue;
+    pts.clear();
+    for (const PinId p : net.pins) pts.push_back(d.pin_pos(p));
+    for (const auto& [a, b] : net_topology(pts)) {
+      const Point pa = pts[static_cast<std::size_t>(a)];
+      const Point pb = pts[static_cast<std::size_t>(b)];
+      const int x0 = m.ix_of(pa.x), y0 = m.iy_of(pa.y);
+      const int x1 = m.ix_of(pb.x), y1 = m.iy_of(pb.y);
+      if (x0 == x1 && y0 == y1) continue;
+      if (y0 == y1) {
+        add_h_run(rg, y0, x0, x1, 1.0);
+      } else if (x0 == x1) {
+        add_v_run(rg, x0, y0, y1, 1.0);
+      } else {
+        // Two L-shapes, probability 0.5 each.
+        add_h_run(rg, y0, x0, x1, 0.5);   // horizontal first
+        add_v_run(rg, x1, y0, y1, 0.5);
+        add_v_run(rg, x0, y0, y1, 0.5);   // vertical first
+        add_h_run(rg, y1, x0, x1, 0.5);
+      }
+    }
+  }
+}
+
+}  // namespace rp

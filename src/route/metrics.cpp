@@ -1,0 +1,42 @@
+#include "route/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rp {
+
+double ace(std::vector<double> utilizations, double top_percent) {
+  RP_ASSERT(top_percent > 0 && top_percent <= 100, "ace: bad percentile");
+  if (utilizations.empty()) return 0.0;
+  const auto k = static_cast<std::size_t>(std::max<double>(
+      1.0, std::ceil(utilizations.size() * top_percent / 100.0)));
+  std::nth_element(utilizations.begin(), utilizations.begin() + static_cast<long>(k - 1),
+                   utilizations.end(), std::greater<>());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) sum += utilizations[i];
+  return 100.0 * sum / static_cast<double>(k);
+}
+
+CongestionMetrics congestion_metrics(const RoutingGrid& grid) {
+  CongestionMetrics m;
+  const std::vector<double> utils = grid.edge_utilizations();
+  m.ace_005 = ace(utils, 0.5);
+  m.ace_1 = ace(utils, 1.0);
+  m.ace_2 = ace(utils, 2.0);
+  m.ace_5 = ace(utils, 5.0);
+  m.rc = (m.ace_005 + m.ace_1 + m.ace_2 + m.ace_5) / 4.0;
+  for (const double u : utils) {
+    m.peak_utilization = std::max(m.peak_utilization, u);
+    if (u > 1.0 + 1e-9) ++m.overflowed_edges;
+  }
+  m.total_overflow = grid.total_overflow();
+  return m;
+}
+
+double scaled_hpwl(double hpwl, double rc, double penalty_per_point) {
+  return hpwl * (1.0 + penalty_per_point * std::max(0.0, rc - 100.0));
+}
+
+}  // namespace rp

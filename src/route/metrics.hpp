@@ -1,0 +1,39 @@
+#pragma once
+// Contest-style routability metrics (DAC-2012 conventions).
+//
+// ACE(x): Average Congestion of the top x% most-congested Edges, where the
+// congestion of an edge is utilization = usage / capacity, expressed in %.
+// RC ("routing congestion"): mean of ACE at 0.5%, 1%, 2% and 5% — the
+// contest's peak-weighted congestion figure. 100 means "exactly full".
+//
+// Scaled HPWL: HPWL × (1 + pf × max(0, RC − 100)), pf = 0.03 per RC point,
+// the contest's routability-penalized wirelength objective.
+
+#include <vector>
+
+#include "route/routegrid.hpp"
+
+namespace rp {
+
+/// ACE(x%) over the given utilization list (fractions; result in %).
+/// x in (0, 100]. Empty input yields 0.
+double ace(std::vector<double> utilizations, double top_percent);
+
+struct CongestionMetrics {
+  double ace_005 = 0.0;  ///< ACE(0.5%)
+  double ace_1 = 0.0;
+  double ace_2 = 0.0;
+  double ace_5 = 0.0;
+  double rc = 0.0;             ///< mean of the four ACE values (in %)
+  double peak_utilization = 0.0;  ///< max edge utilization (fraction)
+  double total_overflow = 0.0;    ///< Σ (use − cap)+ in tracks
+  int overflowed_edges = 0;
+};
+
+/// Compute the metric bundle from the grid's current usage.
+CongestionMetrics congestion_metrics(const RoutingGrid& grid);
+
+/// Contest scaled HPWL. `rc` in percent (100 == full).
+double scaled_hpwl(double hpwl, double rc, double penalty_per_point = 0.03);
+
+}  // namespace rp

@@ -1,0 +1,128 @@
+#include "route/routegrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace rp {
+
+RoutingGrid::RoutingGrid(Rect die, int nx, int ny, double h_cap, double v_cap)
+    : map_(die, nx, ny),
+      hcap_(nx - 1, ny, h_cap),
+      vcap_(nx, ny - 1, v_cap),
+      huse_(nx - 1, ny, 0.0),
+      vuse_(nx, ny - 1, 0.0) {
+  RP_ASSERT(nx >= 2 && ny >= 2, "RoutingGrid needs at least 2x2 tiles");
+}
+
+RoutingGrid::RoutingGrid(const Design& d, bool include_movable_macros)
+    : RoutingGrid(d.die(),
+                  d.route_grid().valid() ? d.route_grid().nx : 32,
+                  d.route_grid().valid() ? d.route_grid().ny : 32,
+                  d.route_grid().valid() ? d.route_grid().h_capacity : 40.0,
+                  d.route_grid().valid() ? d.route_grid().v_capacity : 40.0) {
+  const double porosity = d.route_grid().valid() ? d.route_grid().macro_porosity : 0.2;
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    const Cell& k = d.cell(c);
+    const bool blocks = k.is_macro() || (k.kind == CellKind::Terminal && k.area() > 0 &&
+                                         k.h > 2 * d.row_height());
+    if (!blocks) continue;
+    if (!k.fixed && !include_movable_macros) continue;
+    derate_under_rect(d.cell_rect(c), porosity);
+  }
+}
+
+void RoutingGrid::derate_under_rect(const Rect& r, double porosity) {
+  // An edge's track budget shrinks proportionally to how much of its tile
+  // span the blockage covers, down to `porosity` of the original when fully
+  // covered. Horizontal edge (ix,iy) spans tiles (ix,iy)+(ix+1,iy); we use
+  // the coverage of the window centered on the boundary.
+  const Rect clipped = r.intersect(map_.die());
+  if (clipped.width() <= 0 || clipped.height() <= 0) return;
+  for (int iy = 0; iy < ny(); ++iy) {
+    for (int ix = 0; ix + 1 < nx(); ++ix) {
+      const Rect t0 = map_.bin_rect(ix, iy);
+      const Rect window{t0.center().x, t0.ly, t0.center().x + tile_w(), t0.hy};
+      const double cover = clipped.overlap_area(window) / window.area();
+      if (cover > 0) hcap_(ix, iy) *= 1.0 - cover * (1.0 - porosity);
+    }
+  }
+  for (int iy = 0; iy + 1 < ny(); ++iy) {
+    for (int ix = 0; ix < nx(); ++ix) {
+      const Rect t0 = map_.bin_rect(ix, iy);
+      const Rect window{t0.lx, t0.center().y, t0.hx, t0.center().y + tile_h()};
+      const double cover = clipped.overlap_area(window) / window.area();
+      if (cover > 0) vcap_(ix, iy) *= 1.0 - cover * (1.0 - porosity);
+    }
+  }
+}
+
+void RoutingGrid::clear_usage() {
+  huse_.fill(0.0);
+  vuse_.fill(0.0);
+}
+
+double RoutingGrid::total_overflow() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < huse_.data().size(); ++i)
+    sum += std::max(0.0, huse_.data()[i] - hcap_.data()[i]);
+  for (std::size_t i = 0; i < vuse_.data().size(); ++i)
+    sum += std::max(0.0, vuse_.data()[i] - vcap_.data()[i]);
+  return sum;
+}
+
+namespace {
+// Edges with almost no capacity (deep inside macros) are excluded from
+// utilization statistics; the router also refuses them.
+constexpr double kMinUsableCap = 1e-6;
+}  // namespace
+
+double RoutingGrid::max_utilization() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < huse_.data().size(); ++i)
+    if (hcap_.data()[i] > kMinUsableCap)
+      m = std::max(m, huse_.data()[i] / hcap_.data()[i]);
+  for (std::size_t i = 0; i < vuse_.data().size(); ++i)
+    if (vcap_.data()[i] > kMinUsableCap)
+      m = std::max(m, vuse_.data()[i] / vcap_.data()[i]);
+  return m;
+}
+
+std::vector<double> RoutingGrid::edge_utilizations() const {
+  std::vector<double> u;
+  u.reserve(huse_.data().size() + vuse_.data().size());
+  for (std::size_t i = 0; i < huse_.data().size(); ++i)
+    if (hcap_.data()[i] > kMinUsableCap) u.push_back(huse_.data()[i] / hcap_.data()[i]);
+  for (std::size_t i = 0; i < vuse_.data().size(); ++i)
+    if (vcap_.data()[i] > kMinUsableCap) u.push_back(vuse_.data()[i] / vcap_.data()[i]);
+  return u;
+}
+
+double RoutingGrid::used_wirelength() const {
+  double wl = 0.0;
+  for (const double u : huse_.data()) wl += u * tile_w();
+  for (const double u : vuse_.data()) wl += u * tile_h();
+  return wl;
+}
+
+Grid2D<double> RoutingGrid::tile_congestion() const {
+  Grid2D<double> g(nx(), ny(), 0.0);
+  const auto util = [&](double use, double cap) {
+    return cap > kMinUsableCap ? use / cap : 0.0;
+  };
+  for (int iy = 0; iy < ny(); ++iy) {
+    for (int ix = 0; ix < nx(); ++ix) {
+      double m = 0.0;
+      if (ix > 0) m = std::max(m, util(huse_(ix - 1, iy), hcap_(ix - 1, iy)));
+      if (ix + 1 < nx()) m = std::max(m, util(huse_(ix, iy), hcap_(ix, iy)));
+      if (iy > 0) m = std::max(m, util(vuse_(ix, iy - 1), vcap_(ix, iy - 1)));
+      if (iy + 1 < ny()) m = std::max(m, util(vuse_(ix, iy), vcap_(ix, iy)));
+      g(ix, iy) = m;
+    }
+  }
+  return g;
+}
+
+}  // namespace rp

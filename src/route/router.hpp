@@ -1,0 +1,78 @@
+#pragma once
+// Negotiation-based global router (PathFinder style), the in-repo stand-in
+// for the contest evaluation router.
+//
+// Nets are decomposed into 2-pin segments along their rectilinear MST; each
+// segment is routed by A* over the tile graph. Edge cost is
+//
+//     cost(e) = length(e) · (1 + hist(e)) · (1 + pres · overuse(e))
+//
+// After each iteration, history is raised on overflowed edges, the pressure
+// factor grows, and only segments crossing overflowed edges are ripped up
+// and rerouted — the classic negotiated-congestion loop. The router is used
+// for FINAL placement evaluation (routed wirelength, overflow, ACE); the
+// placement loop itself uses the cheap estimators in estimator.hpp.
+
+#include <vector>
+
+#include "db/design.hpp"
+#include "route/routegrid.hpp"
+
+namespace rp {
+
+struct RouterOptions {
+  // Effort defaults follow the contest evaluators: a bounded negotiation
+  // budget, so genuinely over-demanded hotspots REMAIN overflowed instead of
+  // being detoured into legality at unbounded wirelength cost. Raise
+  // max_iterations/bbox growth for a "route at any cost" router.
+  int max_iterations = 5;
+  double pres_fac_init = 0.6;
+  double pres_fac_mult = 1.7;
+  double hist_incr = 0.35;
+  int bbox_margin = 3;       ///< Tiles around a segment's bbox A* may use.
+  int bbox_grow_per_iter = 2;
+  double blocked_penalty = 64.0;  ///< Cost multiplier for ~zero-capacity edges.
+};
+
+struct RouteStats {
+  double wirelength = 0.0;      ///< Routed WL in die units.
+  double total_overflow = 0.0;  ///< Tracks over capacity, summed.
+  double max_utilization = 0.0;
+  int overflowed_edges = 0;
+  int iterations = 0;
+  int segments = 0;
+  bool overflow_free = false;
+};
+
+class GlobalRouter {
+ public:
+  GlobalRouter(RoutingGrid& grid, RouterOptions opt = {});
+
+  /// Route all nets of the design; leaves per-edge usage in the grid.
+  RouteStats route(const Design& d);
+
+ private:
+  struct Segment {
+    int x0, y0, x1, y1;
+    int net;
+  };
+  /// Route one segment; appends traversed edge ids to path. Returns length.
+  double route_segment(const Segment& s, std::vector<int>& path, int margin);
+
+  // Edge-id encoding: h-edge (ix,iy) -> iy*(nx-1)+ix ;
+  // v-edge (ix,iy) -> H + iy*nx + ix, where H = (nx-1)*ny.
+  int h_id(int ix, int iy) const { return iy * (grid_.nx() - 1) + ix; }
+  int v_id(int ix, int iy) const { return h_base_ + iy * grid_.nx() + ix; }
+  bool is_h(int e) const { return e < h_base_; }
+  double edge_cost(int e) const;
+  double edge_overuse(int e) const;
+  void add_edge_usage(int e, double tracks);
+
+  RoutingGrid& grid_;
+  RouterOptions opt_;
+  int h_base_ = 0;
+  double pres_fac_ = 0.0;
+  std::vector<double> history_;
+};
+
+}  // namespace rp

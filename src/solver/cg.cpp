@@ -1,0 +1,88 @@
+#include "solver/cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rp {
+
+namespace {
+
+double inf_norm(const std::vector<double>& v) {
+  double m = 0.0;
+  for (const double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+CgResult minimize_cg(const CgObjective& f, std::vector<double>& z, const CgOptions& opt) {
+  RP_ASSERT(!z.empty(), "minimize_cg on empty vector");
+  const std::size_t n = z.size();
+  std::vector<double> g(n), g_prev(n), d(n), z_trial(n), g_trial(n);
+
+  CgResult res;
+  double fz = f(z, g);
+  res.f = fz;
+  for (std::size_t i = 0; i < n; ++i) d[i] = -g[i];
+
+  for (int it = 0; it < opt.max_iters; ++it) {
+    res.iters = it + 1;
+    const double dmax = inf_norm(d);
+    if (dmax < opt.grad_tol) {
+      res.converged = true;
+      break;
+    }
+    // Scale so the largest coordinate moves exactly trust_radius.
+    double alpha = opt.trust_radius / dmax;
+    double f_new = 0.0;
+    bool accepted = false;
+    for (int bt = 0; bt <= opt.max_backtracks; ++bt) {
+      for (std::size_t i = 0; i < n; ++i) z_trial[i] = z[i] + alpha * d[i];
+      f_new = f(z_trial, g_trial);
+      if (f_new <= fz || bt == opt.max_backtracks) {
+        accepted = true;
+        break;
+      }
+      alpha *= 0.5;
+    }
+    if (!accepted) break;
+
+    g_prev.swap(g);
+    g.swap(g_trial);
+    z.swap(z_trial);
+
+    const double f_prev = fz;
+    fz = f_new;
+    res.f = fz;
+    if (std::abs(f_prev - fz) <= opt.f_rel_tol * std::max(1.0, std::abs(f_prev))) {
+      res.converged = true;
+      break;
+    }
+
+    // Polak–Ribière+ with automatic restart (β clamped at 0).
+    double num = 0.0;
+    for (std::size_t i = 0; i < n; ++i) num += g[i] * (g[i] - g_prev[i]);
+    const double den = dot(g_prev, g_prev);
+    const double beta = den > 0 ? std::max(0.0, num / den) : 0.0;
+    double gd = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d[i] = -g[i] + beta * d[i];
+      gd += g[i] * d[i];
+    }
+    // Safeguard: if not a descent direction, restart with steepest descent.
+    if (gd >= 0.0) {
+      for (std::size_t i = 0; i < n; ++i) d[i] = -g[i];
+    }
+  }
+  return res;
+}
+
+}  // namespace rp

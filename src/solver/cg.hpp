@@ -1,0 +1,38 @@
+#pragma once
+// Nonlinear conjugate gradient (Polak–Ribière+), the inner solver of the
+// analytical global placer.
+//
+// Instead of an exact line search (expensive: every evaluation costs a full
+// wirelength + density pass), the step follows this placer family's scheme:
+// the step size is chosen so the LARGEST single-coordinate move equals a
+// trust radius (typically one density-bin width), with backtracking only if
+// the objective increases. PR+ restarts (β clamped at 0) keep directions
+// descent-safe under this inexact search.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace rp {
+
+struct CgOptions {
+  int max_iters = 100;
+  double trust_radius = 1.0;      ///< Max per-coordinate displacement per step.
+  double grad_tol = 1e-6;         ///< Stop when ||g||∞ < grad_tol.
+  double f_rel_tol = 1e-7;        ///< Stop on tiny relative objective change.
+  int max_backtracks = 6;         ///< Halvings before accepting uphill drift.
+};
+
+struct CgResult {
+  double f = 0.0;       ///< Final objective value.
+  int iters = 0;        ///< Iterations actually performed.
+  bool converged = false;
+};
+
+/// Objective callback: f(z, grad) -> value, fills grad (same size as z).
+using CgObjective = std::function<double(std::span<const double>, std::span<double>)>;
+
+/// Minimize starting from z (updated in place).
+CgResult minimize_cg(const CgObjective& f, std::vector<double>& z, const CgOptions& opt);
+
+}  // namespace rp

@@ -1,0 +1,24 @@
+// The `routplace` command-line placer.
+//
+//   routplace --aux design.aux --out design.pl          # place a benchmark
+//   routplace --gen 5000 --map                          # synthetic demo
+//   routplace --help
+//
+// All logic lives in core/cli.{hpp,cpp} so it is unit-tested.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    return rp::run_cli(rp::parse_cli_args(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "routplace: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,26 @@
+#pragma once
+// Lightweight checked-assertion macro for the routplace libraries.
+//
+// RP_ASSERT is active in all build types (placement bugs are silent quality
+// bugs; we prefer loud failures), prints file:line and a formatted message,
+// then aborts. Use for internal invariants; use error returns / exceptions
+// for user-input validation (see db/bookshelf).
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rp {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "RP_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace rp
+
+#define RP_ASSERT(cond, msg)                                  \
+  do {                                                        \
+    if (!(cond)) ::rp::assert_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,124 @@
+#pragma once
+// Plain-value 2-D geometry primitives used across the placer.
+//
+// All placement coordinates are double (database units scaled by the parser);
+// grid/bin indices are int. Rect is closed-open conceptually: a zero-area
+// rect (lo == hi) contains nothing and overlaps nothing.
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace rp {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+  friend std::ostream& operator<<(std::ostream& os, Point p) {
+    return os << '(' << p.x << ',' << p.y << ')';
+  }
+};
+
+/// Squared Euclidean distance.
+inline double dist2(Point a, Point b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Closed 1-D interval [lo, hi]; empty when hi < lo.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double length() const { return std::max(0.0, hi - lo); }
+  bool empty() const { return hi <= lo; }
+  bool contains(double v) const { return v >= lo && v <= hi; }
+
+  /// Overlap length with another interval (0 if disjoint).
+  double overlap(Interval o) const {
+    return std::max(0.0, std::min(hi, o.hi) - std::max(lo, o.lo));
+  }
+  /// Clamp a scalar into the interval.
+  double clamp(double v) const { return std::clamp(v, lo, hi); }
+};
+
+/// Axis-aligned rectangle, lower-left (lx, ly) to upper-right (hx, hy).
+struct Rect {
+  double lx = 0.0;
+  double ly = 0.0;
+  double hx = 0.0;
+  double hy = 0.0;
+
+  static Rect from_center(Point c, double w, double h) {
+    return {c.x - w / 2, c.y - h / 2, c.x + w / 2, c.y + h / 2};
+  }
+  /// Inverted rect used as identity for cover(): cover(empty, r) == r.
+  static Rect empty_bbox() {
+    constexpr double inf = 1e300;
+    return {inf, inf, -inf, -inf};
+  }
+
+  double width() const { return std::max(0.0, hx - lx); }
+  double height() const { return std::max(0.0, hy - ly); }
+  double area() const { return width() * height(); }
+  Point center() const { return {(lx + hx) / 2, (ly + hy) / 2}; }
+  Point ll() const { return {lx, ly}; }
+  Interval xr() const { return {lx, hx}; }
+  Interval yr() const { return {ly, hy}; }
+  bool valid() const { return hx >= lx && hy >= ly; }
+
+  bool contains(Point p) const { return p.x >= lx && p.x <= hx && p.y >= ly && p.y <= hy; }
+  bool contains(const Rect& r) const {
+    return r.lx >= lx && r.hx <= hx && r.ly >= ly && r.hy <= hy;
+  }
+  /// Strict-interior overlap: touching edges do NOT overlap.
+  bool overlaps(const Rect& r) const {
+    return lx < r.hx && r.lx < hx && ly < r.hy && r.ly < hy;
+  }
+  double overlap_area(const Rect& r) const {
+    const double w = std::min(hx, r.hx) - std::max(lx, r.lx);
+    const double h = std::min(hy, r.hy) - std::max(ly, r.ly);
+    return (w > 0 && h > 0) ? w * h : 0.0;
+  }
+  Rect intersect(const Rect& r) const {
+    return {std::max(lx, r.lx), std::max(ly, r.ly), std::min(hx, r.hx), std::min(hy, r.hy)};
+  }
+  /// Smallest rect covering both (bounding-box union).
+  Rect cover(const Rect& r) const {
+    return {std::min(lx, r.lx), std::min(ly, r.ly), std::max(hx, r.hx), std::max(hy, r.hy)};
+  }
+  Rect expand(double d) const { return {lx - d, ly - d, hx + d, hy + d}; }
+  Rect shifted(double dx, double dy) const { return {lx + dx, ly + dy, hx + dx, hy + dy}; }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.lx == b.lx && a.ly == b.ly && a.hx == b.hx && a.hy == b.hy;
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Rect& r) {
+    return os << '[' << r.lx << ',' << r.ly << " - " << r.hx << ',' << r.hy << ']';
+  }
+};
+
+/// Incrementally-grown bounding box of a point set.
+struct BBox {
+  Rect r = Rect::empty_bbox();
+  void add(Point p) {
+    r.lx = std::min(r.lx, p.x);
+    r.ly = std::min(r.ly, p.y);
+    r.hx = std::max(r.hx, p.x);
+    r.hy = std::max(r.hy, p.y);
+  }
+  bool empty() const { return r.hx < r.lx; }
+  /// Half-perimeter of the box (the HPWL contribution of one net).
+  double half_perimeter() const { return empty() ? 0.0 : r.width() + r.height(); }
+};
+
+}  // namespace rp

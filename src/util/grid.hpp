@@ -1,0 +1,165 @@
+#pragma once
+// Dense 2-D grids over the die area.
+//
+// Grid2D<T>  — row-major value grid indexed (ix, iy), ix is the x/column index.
+// GridMap    — geometry binding: die rect -> nx × ny bins, with coordinate
+//              <-> index mapping and area-overlap rasterization helpers.
+// PrefixSum2D — O(1) rectangle-sum queries after an O(nx*ny) build; used for
+//              density and congestion window queries.
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/geometry.hpp"
+
+namespace rp {
+
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(int nx, int ny, T init = T{})
+      : nx_(nx), ny_(ny), data_(static_cast<std::size_t>(nx) * ny, init) {
+    RP_ASSERT(nx >= 0 && ny >= 0, "Grid2D negative dims");
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(int ix, int iy) {
+    RP_ASSERT(in_bounds(ix, iy), "Grid2D::at out of bounds");
+    return data_[idx(ix, iy)];
+  }
+  const T& at(int ix, int iy) const {
+    RP_ASSERT(in_bounds(ix, iy), "Grid2D::at out of bounds");
+    return data_[idx(ix, iy)];
+  }
+  T& operator()(int ix, int iy) { return data_[idx(ix, iy)]; }
+  const T& operator()(int ix, int iy) const { return data_[idx(ix, iy)]; }
+
+  bool in_bounds(int ix, int iy) const { return ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_; }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  const std::vector<T>& data() const { return data_; }
+  std::vector<T>& data() { return data_; }
+
+ private:
+  std::size_t idx(int ix, int iy) const {
+    return static_cast<std::size_t>(iy) * nx_ + ix;
+  }
+
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<T> data_;
+};
+
+/// Maps a die rectangle onto an nx × ny bin grid.
+class GridMap {
+ public:
+  GridMap() = default;
+  GridMap(Rect die, int nx, int ny) : die_(die), nx_(nx), ny_(ny) {
+    RP_ASSERT(nx > 0 && ny > 0, "GridMap needs positive bin counts");
+    RP_ASSERT(die.width() > 0 && die.height() > 0, "GridMap needs a non-empty die");
+    bw_ = die.width() / nx;
+    bh_ = die.height() / ny;
+  }
+
+  const Rect& die() const { return die_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  double bin_w() const { return bw_; }
+  double bin_h() const { return bh_; }
+  double bin_area() const { return bw_ * bh_; }
+
+  /// Bin index containing coordinate x (clamped into [0, nx-1]).
+  int ix_of(double x) const {
+    const int i = static_cast<int>((x - die_.lx) / bw_);
+    return std::clamp(i, 0, nx_ - 1);
+  }
+  int iy_of(double y) const {
+    const int i = static_cast<int>((y - die_.ly) / bh_);
+    return std::clamp(i, 0, ny_ - 1);
+  }
+
+  Rect bin_rect(int ix, int iy) const {
+    return {die_.lx + ix * bw_, die_.ly + iy * bh_, die_.lx + (ix + 1) * bw_,
+            die_.ly + (iy + 1) * bh_};
+  }
+  Point bin_center(int ix, int iy) const { return bin_rect(ix, iy).center(); }
+
+  /// Inclusive bin-index range [ix0..ix1] × [iy0..iy1] touched by r.
+  struct BinRange {
+    int ix0, iy0, ix1, iy1;
+  };
+  BinRange bins_touching(const Rect& r) const {
+    return {ix_of(r.lx), iy_of(r.ly),
+            // Upper edge exactly on a bin boundary should not spill into the
+            // next bin; nudge by a tiny epsilon of bin size.
+            ix_of(r.hx - 1e-9 * bw_), iy_of(r.hy - 1e-9 * bh_)};
+  }
+
+  /// Rasterize rect area into grid: for each touched bin, call
+  /// fn(ix, iy, overlap_area).
+  template <typename Fn>
+  void rasterize(const Rect& r, Fn&& fn) const {
+    if (r.width() <= 0 || r.height() <= 0) return;
+    const BinRange br = bins_touching(r.intersect(die_));
+    for (int iy = br.iy0; iy <= br.iy1; ++iy) {
+      for (int ix = br.ix0; ix <= br.ix1; ++ix) {
+        const double a = bin_rect(ix, iy).overlap_area(r);
+        if (a > 0) fn(ix, iy, a);
+      }
+    }
+  }
+
+ private:
+  Rect die_;
+  int nx_ = 0;
+  int ny_ = 0;
+  double bw_ = 0.0;
+  double bh_ = 0.0;
+};
+
+/// 2-D inclusive prefix sums for O(1) rectangle sums over a Grid2D<double>.
+class PrefixSum2D {
+ public:
+  PrefixSum2D() = default;
+  explicit PrefixSum2D(const Grid2D<double>& g) { build(g); }
+
+  void build(const Grid2D<double>& g) {
+    nx_ = g.nx();
+    ny_ = g.ny();
+    ps_.assign(static_cast<std::size_t>(nx_ + 1) * (ny_ + 1), 0.0);
+    for (int iy = 0; iy < ny_; ++iy) {
+      double row = 0.0;
+      for (int ix = 0; ix < nx_; ++ix) {
+        row += g(ix, iy);
+        at(ix + 1, iy + 1) = at(ix + 1, iy) + row;
+      }
+    }
+  }
+
+  /// Sum over bin-index rectangle [ix0..ix1] × [iy0..iy1], inclusive.
+  double sum(int ix0, int iy0, int ix1, int iy1) const {
+    ix0 = std::max(ix0, 0);
+    iy0 = std::max(iy0, 0);
+    ix1 = std::min(ix1, nx_ - 1);
+    iy1 = std::min(iy1, ny_ - 1);
+    if (ix0 > ix1 || iy0 > iy1) return 0.0;
+    return at(ix1 + 1, iy1 + 1) - at(ix0, iy1 + 1) - at(ix1 + 1, iy0) + at(ix0, iy0);
+  }
+
+ private:
+  double& at(int ix, int iy) { return ps_[static_cast<std::size_t>(iy) * (nx_ + 1) + ix]; }
+  double at(int ix, int iy) const {
+    return ps_[static_cast<std::size_t>(iy) * (nx_ + 1) + ix];
+  }
+
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<double> ps_;
+};
+
+}  // namespace rp

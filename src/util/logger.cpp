@@ -1,0 +1,34 @@
+#include "util/logger.hpp"
+
+#include <cstdio>
+
+namespace rp {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+
+const char* tag(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+void Logger::set_level(LogLevel lv) { g_level = lv; }
+
+void Logger::log(LogLevel lv, const char* fmt, ...) {
+  if (static_cast<int>(lv) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] ", tag(lv));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace rp

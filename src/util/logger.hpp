@@ -1,0 +1,40 @@
+#pragma once
+// Minimal leveled logger.
+//
+// The placer is a batch tool: logging goes to stderr, formatted printf-style,
+// and is globally filterable by level (benchmarks silence it below Warn).
+// Not thread-safe by design — the placer is single-threaded.
+
+#include <cstdarg>
+#include <string>
+
+namespace rp {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lv);
+
+  static void log(LogLevel lv, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+};
+
+/// RAII guard that silences (or changes) logging within a scope.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel lv) : prev_(Logger::level()) { Logger::set_level(lv); }
+  ~ScopedLogLevel() { Logger::set_level(prev_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel prev_;
+};
+
+}  // namespace rp
+
+#define RP_DEBUG(...) ::rp::Logger::log(::rp::LogLevel::Debug, __VA_ARGS__)
+#define RP_INFO(...) ::rp::Logger::log(::rp::LogLevel::Info, __VA_ARGS__)
+#define RP_WARN(...) ::rp::Logger::log(::rp::LogLevel::Warn, __VA_ARGS__)
+#define RP_ERROR(...) ::rp::Logger::log(::rp::LogLevel::Error, __VA_ARGS__)

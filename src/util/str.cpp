@@ -1,0 +1,102 @@
+#include "util/str.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rp {
+
+std::string_view trim(std::string_view s) {
+  const auto not_space = [](unsigned char c) { return !std::isspace(c); };
+  while (!s.empty() && !not_space(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && !not_space(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string> split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && delims.find(s[i]) != std::string_view::npos) ++i;
+    std::size_t j = i;
+    while (j < s.size() && delims.find(s[j]) == std::string_view::npos) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+double to_double(std::string_view s) {
+  s = trim(s);
+  // std::from_chars(double) is available in libstdc++ 11+; use it for speed.
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size())
+    throw std::runtime_error("to_double: cannot parse '" + std::string(s) + "'");
+  return v;
+}
+
+long to_long(std::string_view s) {
+  s = trim(s);
+  long v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size())
+    throw std::runtime_error("to_long: cannot parse '" + std::string(s) + "'");
+  return v;
+}
+
+std::vector<std::string> hier_components(std::string_view path) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i <= path.size()) {
+    const std::size_t j = path.find('/', i);
+    if (j == std::string_view::npos) {
+      if (i < path.size()) out.emplace_back(path.substr(i));
+      break;
+    }
+    if (j > i) out.emplace_back(path.substr(i, j - i));
+    i = j + 1;
+  }
+  return out;
+}
+
+int common_prefix_depth(std::string_view a, std::string_view b) {
+  int depth = 0;
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    const std::size_t ja = a.find('/', ia);
+    const std::size_t jb = b.find('/', ib);
+    const std::string_view ca = a.substr(ia, (ja == std::string_view::npos ? a.size() : ja) - ia);
+    const std::string_view cb = b.substr(ib, (jb == std::string_view::npos ? b.size() : jb) - ib);
+    if (ca != cb || ca.empty()) break;
+    // Only count a component as shared hierarchy if it is not the leaf of
+    // either path (the leaf is the cell itself, not a module).
+    if (ja == std::string_view::npos || jb == std::string_view::npos) break;
+    ++depth;
+    ia = ja + 1;
+    ib = jb + 1;
+  }
+  return depth;
+}
+
+}  // namespace rp

@@ -1,0 +1,35 @@
+#pragma once
+// Small string utilities used mainly by the Bookshelf parser and the
+// hierarchical-name handling ("a/b/c" instance paths).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rp {
+
+/// Strip leading/trailing whitespace (space, tab, CR, LF).
+std::string_view trim(std::string_view s);
+
+/// Split on any run of the given delimiter characters; empty tokens dropped.
+std::vector<std::string> split(std::string_view s, std::string_view delims = " \t");
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive equality (ASCII).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Parse helpers that throw std::runtime_error with context on failure.
+double to_double(std::string_view s);
+long to_long(std::string_view s);
+
+/// Components of a hierarchical instance path split on '/'.
+/// "top/alu0/add/u1" -> {"top","alu0","add","u1"}.
+std::vector<std::string> hier_components(std::string_view path);
+
+/// Number of leading path components two instance names share.
+/// common_prefix_depth("a/b/c", "a/b/d") == 2.
+int common_prefix_depth(std::string_view a, std::string_view b);
+
+}  // namespace rp

@@ -1,0 +1,39 @@
+#include "util/timer.hpp"
+
+#include <sstream>
+
+namespace rp {
+
+void StageTimes::add(const std::string& stage, double sec) {
+  for (auto& [name, t] : stages_) {
+    if (name == stage) {
+      t += sec;
+      return;
+    }
+  }
+  stages_.emplace_back(stage, sec);
+}
+
+double StageTimes::get(const std::string& stage) const {
+  for (const auto& [name, t] : stages_) {
+    if (name == stage) return t;
+  }
+  return 0.0;
+}
+
+double StageTimes::total() const {
+  double sum = 0.0;
+  for (const auto& [name, t] : stages_) sum += t;
+  return sum;
+}
+
+std::string StageTimes::report() const {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed;
+  for (const auto& [name, t] : stages_) os << name << "=" << t << "s ";
+  os << "total=" << total() << "s";
+  return os.str();
+}
+
+}  // namespace rp

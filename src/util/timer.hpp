@@ -1,0 +1,51 @@
+#pragma once
+// Wall-clock timing helpers for flow-stage runtime reporting.
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rp {
+
+class Timer {
+ public:
+  Timer() { reset(); }
+  void reset() { start_ = Clock::now(); }
+  /// Elapsed wall time in seconds since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named stage runtimes; used by the flow's runtime breakdown.
+class StageTimes {
+ public:
+  void add(const std::string& stage, double sec);
+  double get(const std::string& stage) const;
+  double total() const;
+  std::string report() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> stages_;
+};
+
+/// RAII: adds the scope's elapsed time to a StageTimes entry at destruction.
+class ScopedStage {
+ public:
+  ScopedStage(StageTimes& st, std::string stage) : st_(st), stage_(std::move(stage)) {}
+  ~ScopedStage() { st_.add(stage_, timer_.seconds()); }
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  StageTimes& st_;
+  std::string stage_;
+  Timer timer_;
+};
+
+}  // namespace rp

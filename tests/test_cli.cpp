@@ -1,0 +1,112 @@
+// CLI driver: argument parsing, validation, option -> FlowOptions mapping,
+// and an end-to-end run against a generated benchmark (writes a .pl).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/cli.hpp"
+#include "db/bookshelf.hpp"
+#include "gen/generator.hpp"
+#include "util/logger.hpp"
+
+namespace rp {
+namespace {
+
+TEST(Cli, DefaultsWhenNoArgs) {
+  const CliConfig c = parse_cli_args({});
+  EXPECT_TRUE(c.aux.empty());
+  EXPECT_EQ(c.mode, "routability");
+  EXPECT_EQ(c.legalizer, "abacus");
+  EXPECT_FALSE(c.help);
+}
+
+TEST(Cli, ParsesAllOptions) {
+  const CliConfig c = parse_cli_args({"--aux", "x.aux", "--out", "y.pl", "--mode",
+                                      "wirelength", "--legalizer", "tetris", "--seed",
+                                      "42", "--supply", "1.5", "--density", "0.9",
+                                      "--rounds", "5", "--skip-dp", "--map",
+                                      "--verbose"});
+  EXPECT_EQ(c.aux, "x.aux");
+  EXPECT_EQ(c.out_pl, "y.pl");
+  EXPECT_EQ(c.mode, "wirelength");
+  EXPECT_EQ(c.legalizer, "tetris");
+  EXPECT_EQ(c.seed, 42u);
+  EXPECT_DOUBLE_EQ(c.track_supply, 1.5);
+  EXPECT_DOUBLE_EQ(c.target_density, 0.9);
+  EXPECT_EQ(c.routability_rounds, 5);
+  EXPECT_TRUE(c.skip_dp);
+  EXPECT_TRUE(c.show_map);
+  EXPECT_TRUE(c.verbose);
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  EXPECT_THROW(parse_cli_args({"--frobnicate"}), std::runtime_error);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  EXPECT_THROW(parse_cli_args({"--aux"}), std::runtime_error);
+}
+
+TEST(Cli, RejectsBadMode) {
+  EXPECT_THROW(parse_cli_args({"--mode", "telepathy"}), std::runtime_error);
+}
+
+TEST(Cli, RejectsBadLegalizer) {
+  EXPECT_THROW(parse_cli_args({"--legalizer", "bulldozer"}), std::runtime_error);
+}
+
+TEST(Cli, RejectsBadDensity) {
+  EXPECT_THROW(parse_cli_args({"--density", "0"}), std::runtime_error);
+  EXPECT_THROW(parse_cli_args({"--density", "1.5"}), std::runtime_error);
+}
+
+TEST(Cli, RejectsNonNumericValue) {
+  EXPECT_THROW(parse_cli_args({"--seed", "banana"}), std::runtime_error);
+}
+
+TEST(Cli, HelpFlag) {
+  const CliConfig c = parse_cli_args({"--help"});
+  EXPECT_TRUE(c.help);
+  EXPECT_NE(cli_usage().find("--aux"), std::string::npos);
+  EXPECT_EQ(run_cli(c), 0);  // prints usage, succeeds
+}
+
+TEST(Cli, FlowOptionsMapping) {
+  CliConfig c = parse_cli_args({"--mode", "wirelength", "--legalizer", "tetris",
+                                "--density", "0.85", "--rounds", "7", "--skip-dp"});
+  const FlowOptions opt = cli_flow_options(c);
+  EXPECT_FALSE(opt.gp.routability.enable);
+  EXPECT_FALSE(opt.congestion_aware_dp);
+  EXPECT_EQ(opt.legalizer, "tetris");
+  EXPECT_DOUBLE_EQ(opt.gp.target_density, 0.85);
+  EXPECT_EQ(opt.gp.routability.rounds, 7);
+  EXPECT_TRUE(opt.skip_dp);
+
+  c.mode = "routability";
+  EXPECT_TRUE(cli_flow_options(c).gp.routability.enable);
+}
+
+TEST(Cli, EndToEndOnBookshelfInput) {
+  Logger::set_level(LogLevel::Error);
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "rp_cli_test";
+  fs::remove_all(dir);
+  {
+    const Design d = generate_benchmark(tiny_spec(71));
+    write_bookshelf(d, dir, "cli");
+  }
+  const fs::path out = dir / "cli.out.pl";
+  CliConfig c = parse_cli_args({"--aux", (dir / "cli.aux").string(), "--out",
+                                out.string(), "--rounds", "1"});
+  EXPECT_EQ(run_cli(c), 0);
+  EXPECT_TRUE(fs::exists(out));
+  // The written solution loads back cleanly.
+  Design d = read_bookshelf(dir / "cli.aux");
+  read_pl_into(d, out);
+  EXPECT_GT(d.hpwl(), 0.0);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,299 @@
+// Unit tests for the design database: construction, finalize invariants,
+// hierarchy tree, geometry helpers, HPWL, and the legality checker.
+
+#include <gtest/gtest.h>
+
+#include "db/design.hpp"
+#include "db/validate.hpp"
+
+namespace rp {
+namespace {
+
+/// 10x10 die, two rows of height 5, three cells on one net.
+Design make_simple() {
+  Design d;
+  d.set_name("simple");
+  d.set_die({0, 0, 100, 10});
+  d.add_row(Row{0, 5, 0, 100, 1});
+  d.add_row(Row{5, 5, 0, 100, 1});
+  const CellId a = d.add_cell("a", 4, 5);
+  const CellId b = d.add_cell("b", 6, 5);
+  const CellId p = d.add_cell("pad", 0, 0, CellKind::Terminal);
+  const NetId n = d.add_net("n1");
+  d.connect(a, n, {1, 0});
+  d.connect(b, n, {-1, 0});
+  d.connect(p, n);
+  d.cell(a).pos = {0, 0};
+  d.cell(b).pos = {10, 5};
+  d.cell(p).pos = {50, 0};
+  d.finalize();
+  return d;
+}
+
+TEST(Design, BasicCounts) {
+  const Design d = make_simple();
+  EXPECT_EQ(d.num_cells(), 3);
+  EXPECT_EQ(d.num_nets(), 1);
+  EXPECT_EQ(d.num_pins(), 3);
+  EXPECT_EQ(d.num_movable(), 2);
+  EXPECT_EQ(d.num_macros(), 0);
+  EXPECT_DOUBLE_EQ(d.total_movable_area(), 20 + 30);
+}
+
+TEST(Design, NameLookup) {
+  const Design d = make_simple();
+  EXPECT_EQ(d.find_cell("b"), 1);
+  EXPECT_EQ(d.find_cell("zzz"), kInvalidId);
+  EXPECT_EQ(d.find_net("n1"), 0);
+  EXPECT_EQ(d.find_net("n2"), kInvalidId);
+}
+
+TEST(Design, DuplicateNamesRejected) {
+  Design d;
+  d.add_cell("a", 1, 1);
+  EXPECT_THROW(d.add_cell("a", 2, 2), std::runtime_error);
+  d.add_net("n");
+  EXPECT_THROW(d.add_net("n"), std::runtime_error);
+}
+
+TEST(Design, ConnectValidatesIds) {
+  Design d;
+  const CellId c = d.add_cell("a", 1, 1);
+  const NetId n = d.add_net("n");
+  EXPECT_THROW(d.connect(c + 5, n), std::runtime_error);
+  EXPECT_THROW(d.connect(c, n + 5), std::runtime_error);
+}
+
+TEST(Design, GeometryHelpers) {
+  const Design d = make_simple();
+  EXPECT_EQ(d.cell_rect(0), (Rect{0, 0, 4, 5}));
+  EXPECT_EQ(d.cell_center(0), (Point{2, 2.5}));
+  // pin of a at offset (1,0) from center
+  EXPECT_EQ(d.pin_pos(0), (Point{3, 2.5}));
+}
+
+TEST(Design, SetCenterInverse) {
+  Design d = make_simple();
+  d.set_center(0, {33, 7});
+  EXPECT_EQ(d.cell_center(0), (Point{33, 7}));
+  EXPECT_EQ(d.cell(0).pos, (Point{31, 4.5}));
+}
+
+TEST(Design, HpwlMatchesHandComputation) {
+  const Design d = make_simple();
+  // pins: a at (3, 2.5), b at (12, 7.5), pad at (50, 0)
+  // bbox: x [3,50], y [0,7.5] -> 47 + 7.5 = 54.5
+  EXPECT_DOUBLE_EQ(d.net_hpwl(0), 54.5);
+  EXPECT_DOUBLE_EQ(d.hpwl(), 54.5);
+}
+
+TEST(Design, HpwlRespectsNetWeight) {
+  Design d = make_simple();
+  d.net(0).weight = 2.0;
+  EXPECT_DOUBLE_EQ(d.hpwl(), 109.0);
+}
+
+TEST(Design, SingletonNetHasZeroHpwl) {
+  Design d;
+  d.set_die({0, 0, 10, 10});
+  const CellId a = d.add_cell("a", 1, 1);
+  const NetId n = d.add_net("n");
+  d.connect(a, n);
+  d.finalize();
+  EXPECT_DOUBLE_EQ(d.hpwl(), 0.0);
+}
+
+TEST(Design, FinalizeRejectsDegenerateDie) {
+  Design d;
+  d.add_cell("a", 1, 1);
+  EXPECT_THROW(d.finalize(), std::runtime_error);
+}
+
+TEST(Design, FinalizeRejectsOverfullDie) {
+  Design d;
+  d.set_die({0, 0, 10, 10});
+  d.add_cell("a", 20, 20);  // 400 area in 100 die
+  d.add_net("n");
+  EXPECT_THROW(d.finalize(), std::runtime_error);
+}
+
+TEST(Design, FinalizeSynthesizesRowsWhenMissing) {
+  Design d;
+  d.set_die({0, 0, 100, 100});
+  d.add_cell("a", 5, 5);
+  d.finalize();
+  EXPECT_GT(d.num_rows(), 0);
+  EXPECT_GT(d.row_height(), 0.0);
+}
+
+TEST(Design, UtilizationAccountsFixedArea) {
+  Design d;
+  d.set_die({0, 0, 100, 100});
+  const CellId m = d.add_cell("blk", 50, 50, CellKind::Macro);
+  d.cell(m).fixed = true;
+  d.cell(m).pos = {0, 0};
+  d.add_cell("a", 10, 10);
+  d.finalize();
+  // free = 10000 - 2500; movable = 100
+  EXPECT_NEAR(d.utilization(), 100.0 / 7500.0, 1e-12);
+}
+
+TEST(Design, RefreshDerivedAfterFreezing) {
+  Design d;
+  d.set_die({0, 0, 100, 100});
+  const CellId m = d.add_cell("m", 20, 20, CellKind::Macro);
+  d.add_cell("a", 5, 5);
+  d.finalize();
+  EXPECT_EQ(d.num_movable(), 2);
+  EXPECT_EQ(d.num_movable_macros(), 1);
+  d.cell(m).fixed = true;
+  d.refresh_derived();
+  EXPECT_EQ(d.num_movable(), 1);
+  EXPECT_EQ(d.num_movable_macros(), 0);
+  EXPECT_EQ(d.movable_cells().size(), 1u);
+}
+
+// ---------------- hierarchy ----------------
+
+TEST(HierTree, BuildsFromPaths) {
+  HierTree t;
+  const int m1 = t.add_cell_path("top/alu/u1");
+  const int m2 = t.add_cell_path("top/alu/u2");
+  const int m3 = t.add_cell_path("top/mem/u3");
+  const int m4 = t.add_cell_path("flat_cell");
+  EXPECT_EQ(m1, m2);
+  EXPECT_NE(m1, m3);
+  EXPECT_EQ(m4, t.root());
+  EXPECT_EQ(t.depth(m1), 2);
+  EXPECT_EQ(t.max_depth(), 2);
+  EXPECT_EQ(t.node(m1).num_cells, 2);
+}
+
+TEST(HierTree, CommonAncestorDepth) {
+  HierTree t;
+  const int a = t.add_cell_path("top/core0/alu/u1");
+  const int b = t.add_cell_path("top/core0/fpu/u2");
+  const int c = t.add_cell_path("top/core1/alu/u3");
+  EXPECT_EQ(t.common_ancestor_depth(a, a), 3);
+  EXPECT_EQ(t.common_ancestor_depth(a, b), 2);
+  EXPECT_EQ(t.common_ancestor_depth(a, c), 1);
+  EXPECT_EQ(t.common_ancestor_depth(a, t.root()), 0);
+}
+
+TEST(HierTree, PathNames) {
+  HierTree t;
+  const int a = t.add_cell_path("x/y/cell");
+  EXPECT_EQ(t.path(a), "x/y");
+  EXPECT_EQ(t.path(t.root()), "");
+}
+
+TEST(Design, HierarchyFromNames) {
+  Design d;
+  d.set_die({0, 0, 100, 100});
+  d.add_cell("top/a/u1", 1, 1);
+  d.add_cell("top/a/u2", 1, 1);
+  d.add_cell("top/b/u3", 1, 1);
+  d.finalize();
+  EXPECT_EQ(d.cell(0).hier, d.cell(1).hier);
+  EXPECT_NE(d.cell(0).hier, d.cell(2).hier);
+  EXPECT_EQ(d.hierarchy().common_ancestor_depth(d.cell(0).hier, d.cell(2).hier), 1);
+}
+
+// ---------------- legality checker ----------------
+
+Design legal_fixture() {
+  Design d;
+  d.set_die({0, 0, 100, 20});
+  d.add_row(Row{0, 10, 0, 100, 1});
+  d.add_row(Row{10, 10, 0, 100, 1});
+  d.add_cell("a", 10, 10);
+  d.add_cell("b", 10, 10);
+  d.add_net("n");
+  d.cell(0).pos = {0, 0};
+  d.cell(1).pos = {20, 10};
+  d.finalize();
+  return d;
+}
+
+TEST(Validate, CleanPlacementPasses) {
+  const Design d = legal_fixture();
+  const LegalityReport rep = check_legality(d);
+  EXPECT_TRUE(rep.ok()) << (rep.messages.empty() ? std::string() : rep.messages[0]);
+  EXPECT_DOUBLE_EQ(total_overlap_area(d), 0.0);
+}
+
+TEST(Validate, DetectsOverlap) {
+  Design d = legal_fixture();
+  d.cell(1).pos = {5, 0};  // overlaps a by 5x10
+  const LegalityReport rep = check_legality(d);
+  EXPECT_EQ(rep.overlaps, 1);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_DOUBLE_EQ(total_overlap_area(d), 50.0);
+}
+
+TEST(Validate, TouchingCellsAreLegal) {
+  Design d = legal_fixture();
+  d.cell(1).pos = {10, 0};  // abuts a exactly
+  EXPECT_TRUE(check_legality(d).ok());
+}
+
+TEST(Validate, DetectsOutOfDie) {
+  Design d = legal_fixture();
+  d.cell(0).pos = {95, 0};  // spills right edge
+  const LegalityReport rep = check_legality(d);
+  EXPECT_EQ(rep.out_of_die, 1);
+}
+
+TEST(Validate, DetectsRowMisalignment) {
+  Design d = legal_fixture();
+  d.cell(0).pos = {0, 3.5};
+  const LegalityReport rep = check_legality(d);
+  EXPECT_EQ(rep.row_misaligned, 1);
+}
+
+TEST(Validate, SiteCheckOptional) {
+  Design d = legal_fixture();
+  d.cell(0).pos = {0.5, 0};
+  LegalityOptions opt;
+  EXPECT_TRUE(check_legality(d, opt).ok());
+  opt.check_sites = true;
+  EXPECT_EQ(check_legality(d, opt).site_misaligned, 1);
+}
+
+TEST(Validate, DetectsFenceViolation) {
+  Design d;
+  d.set_die({0, 0, 100, 20});
+  d.add_row(Row{0, 10, 0, 100, 1});
+  d.add_row(Row{10, 10, 0, 100, 1});
+  d.add_cell("a", 10, 10);
+  Region reg;
+  reg.name = "f";
+  reg.rects.push_back(Rect{0, 0, 30, 10});
+  const int rid = d.add_region(std::move(reg));
+  d.set_region(0, rid);
+  d.cell(0).pos = {50, 0};  // outside fence
+  d.finalize();
+  EXPECT_EQ(check_legality(d).region_violations, 1);
+  d.cell(0).pos = {10, 0};
+  EXPECT_TRUE(check_legality(d).ok());
+}
+
+TEST(Validate, FixedFixedOverlapIgnored) {
+  Design d;
+  d.set_die({0, 0, 100, 20});
+  d.add_row(Row{0, 10, 0, 100, 1});
+  auto add_fixed = [&](const char* name, double x) {
+    const CellId c = d.add_cell(name, 20, 20, CellKind::Terminal);
+    d.cell(c).pos = {x, 0};
+    return c;
+  };
+  add_fixed("f1", 0);
+  add_fixed("f2", 10);  // overlaps f1 — allowed
+  d.add_cell("a", 5, 10);
+  d.cell(2).pos = {60, 0};
+  d.finalize();
+  EXPECT_TRUE(check_legality(d).ok());
+}
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,208 @@
+// Benchmark generator: determinism, structural statistics, hierarchy,
+// fences, and the paper suite definitions.
+
+#include <gtest/gtest.h>
+
+#include "db/validate.hpp"
+#include "gen/generator.hpp"
+#include "util/logger.hpp"
+#include "util/rng.hpp"
+
+namespace rp {
+namespace {
+
+class GenTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Logger::set_level(LogLevel::Warn); }
+};
+
+TEST_F(GenTest, DeterministicForSeed) {
+  const Design a = generate_benchmark(tiny_spec(5));
+  const Design b = generate_benchmark(tiny_spec(5));
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  EXPECT_DOUBLE_EQ(a.hpwl(), b.hpwl());
+  for (CellId c = 0; c < a.num_cells(); c += 17) {
+    EXPECT_EQ(a.cell(c).pos, b.cell(c).pos) << c;
+  }
+}
+
+TEST_F(GenTest, SeedChangesDesign) {
+  const Design a = generate_benchmark(tiny_spec(5));
+  const Design b = generate_benchmark(tiny_spec(6));
+  EXPECT_NE(a.hpwl(), b.hpwl());
+}
+
+TEST_F(GenTest, CountsMatchSpec) {
+  BenchmarkSpec s = tiny_spec(5);
+  const Design d = generate_benchmark(s);
+  int stds = 0, macros = 0, terms = 0;
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    switch (d.cell(c).kind) {
+      case CellKind::StdCell: ++stds; break;
+      case CellKind::Macro: ++macros; break;
+      case CellKind::Terminal: ++terms; break;
+    }
+  }
+  EXPECT_EQ(stds, s.num_std_cells);
+  EXPECT_EQ(macros, s.num_macros);
+  EXPECT_EQ(terms, s.num_io);
+  EXPECT_EQ(d.num_nets(), static_cast<int>(s.num_std_cells * s.nets_per_cell));
+}
+
+TEST_F(GenTest, UtilizationNearTarget) {
+  const BenchmarkSpec s = small_spec(11);
+  const Design d = generate_benchmark(s);
+  EXPECT_NEAR(d.utilization(), s.target_utilization, 0.08);
+}
+
+TEST_F(GenTest, MacroAreaFractionRespected) {
+  const BenchmarkSpec s = small_spec(11);
+  const Design d = generate_benchmark(s);
+  double macro_area = 0, std_area = 0;
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    if (d.cell(c).is_macro()) macro_area += d.cell(c).area();
+    else if (d.cell(c).kind == CellKind::StdCell) std_area += d.cell(c).area();
+  }
+  EXPECT_NEAR(macro_area / (macro_area + std_area), s.macro_area_fraction, 0.05);
+}
+
+TEST_F(GenTest, FixedMacrosDoNotOverlap) {
+  const Design d = generate_benchmark(small_spec(11));
+  std::vector<Rect> fixed;
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    const Cell& k = d.cell(c);
+    if (k.is_macro() && k.fixed) fixed.push_back(d.cell_rect(c));
+  }
+  EXPECT_GE(fixed.size(), 1u);
+  for (std::size_t i = 0; i < fixed.size(); ++i)
+    for (std::size_t j = i + 1; j < fixed.size(); ++j)
+      EXPECT_FALSE(fixed[i].overlaps(fixed[j])) << i << "," << j;
+  for (const Rect& r : fixed) EXPECT_TRUE(d.die().contains(r));
+}
+
+TEST_F(GenTest, PadsOnBoundary) {
+  const Design d = generate_benchmark(tiny_spec(5));
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    const Cell& k = d.cell(c);
+    if (k.kind != CellKind::Terminal) continue;
+    const Rect r = d.cell_rect(c);
+    const Rect die = d.die();
+    const bool on_edge = r.lx <= die.lx + 1e-9 || r.hx >= die.hx - 1e-9 ||
+                         r.ly <= die.ly + 1e-9 || r.hy >= die.hy - 1e-9;
+    EXPECT_TRUE(on_edge) << k.name;
+    EXPECT_TRUE(k.fixed);
+  }
+}
+
+TEST_F(GenTest, HierarchicalNamesProduceDeepTree) {
+  BenchmarkSpec s = small_spec(11);
+  s.flat = false;
+  const Design d = generate_benchmark(s);
+  EXPECT_GE(d.hierarchy().max_depth(), 2);
+
+  s.flat = true;
+  const Design f = generate_benchmark(s);
+  EXPECT_EQ(f.hierarchy().max_depth(), 0);
+}
+
+TEST_F(GenTest, NetLocalityHolds) {
+  // In a hierarchical design most nets stay within one leaf-ish module:
+  // mean common-ancestor depth of connected cell pairs must clearly exceed
+  // the value for random pairs.
+  BenchmarkSpec s = small_spec(11);
+  s.flat = false;
+  const Design d = generate_benchmark(s);
+  const HierTree& t = d.hierarchy();
+
+  double net_depth = 0;
+  long net_pairs = 0;
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    for (std::size_t i = 0; i + 1 < net.pins.size(); ++i) {
+      const CellId a = d.pin(net.pins[i]).cell;
+      const CellId b = d.pin(net.pins[i + 1]).cell;
+      net_depth += t.common_ancestor_depth(d.cell(a).hier, d.cell(b).hier);
+      ++net_pairs;
+    }
+  }
+  Rng rng(3);
+  double rand_depth = 0;
+  const int rand_pairs = 4000;
+  for (int i = 0; i < rand_pairs; ++i) {
+    const CellId a = static_cast<CellId>(rng.below(static_cast<std::uint64_t>(d.num_cells())));
+    const CellId b = static_cast<CellId>(rng.below(static_cast<std::uint64_t>(d.num_cells())));
+    rand_depth += t.common_ancestor_depth(d.cell(a).hier, d.cell(b).hier);
+  }
+  EXPECT_GT(net_depth / net_pairs, rand_depth / rand_pairs + 0.3);
+}
+
+TEST_F(GenTest, AverageNetDegreeNearSpec) {
+  const BenchmarkSpec s = small_spec(11);
+  const Design d = generate_benchmark(s);
+  double avg = static_cast<double>(d.num_pins()) / d.num_nets();
+  EXPECT_NEAR(avg, s.avg_net_degree, 0.6);
+  for (NetId n = 0; n < d.num_nets(); ++n)
+    EXPECT_LE(d.net(n).degree(), s.max_net_degree + 3);  // pads may add pins
+}
+
+TEST_F(GenTest, RouteGridValid) {
+  const Design d = generate_benchmark(tiny_spec(5));
+  const RouteGridInfo& rg = d.route_grid();
+  EXPECT_TRUE(rg.valid());
+  EXPECT_GE(rg.nx, 10);
+  EXPECT_GE(rg.ny, 10);
+  EXPECT_GT(rg.h_capacity, 0);
+  EXPECT_GT(rg.v_capacity, 0);
+  EXPECT_GT(rg.macro_porosity, 0);
+  EXPECT_LT(rg.macro_porosity, 1);
+}
+
+TEST_F(GenTest, FenceRegionGeneration) {
+  BenchmarkSpec s = small_spec(11);
+  s.num_fence_regions = 1;
+  const Design d = generate_benchmark(s);
+  ASSERT_EQ(d.num_regions(), 1);
+  int fenced = 0;
+  for (CellId c = 0; c < d.num_cells(); ++c)
+    if (d.cell(c).region == 0) ++fenced;
+  EXPECT_GE(fenced, 10);
+  // Fence rect large enough for its cells at 60% fill.
+  double area = 0;
+  for (CellId c = 0; c < d.num_cells(); ++c)
+    if (d.cell(c).region == 0) area += d.cell(c).area();
+  EXPECT_GE(d.region(0).bbox().area() * 0.85, area);
+}
+
+TEST_F(GenTest, PaperSuiteShape) {
+  const auto suite = paper_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  int flats = 0;
+  for (const auto& s : suite) {
+    EXPECT_GT(s.num_std_cells, 0);
+    if (s.flat) ++flats;
+  }
+  EXPECT_EQ(flats, 3);
+  // Names unique.
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    for (std::size_t j = i + 1; j < suite.size(); ++j)
+      EXPECT_NE(suite[i].name, suite[j].name);
+}
+
+TEST_F(GenTest, GeneratedDesignIsFinalizedAndConsistent) {
+  const Design d = generate_benchmark(tiny_spec(5));
+  EXPECT_TRUE(d.finalized());
+  // All pins reference valid nets/cells (finalize would have thrown, but
+  // verify cross-references explicitly).
+  for (PinId p = 0; p < d.num_pins(); ++p) {
+    const Pin& pin = d.pin(p);
+    ASSERT_GE(pin.cell, 0);
+    ASSERT_LT(pin.cell, d.num_cells());
+    ASSERT_GE(pin.net, 0);
+    ASSERT_LT(pin.net, d.num_nets());
+  }
+}
+
+}  // namespace
+}  // namespace rp
