@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_benchstats"
+  "../bench/bench_table1_benchstats.pdb"
+  "CMakeFiles/bench_table1_benchstats.dir/bench_table1_benchstats.cpp.o"
+  "CMakeFiles/bench_table1_benchstats.dir/bench_table1_benchstats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_benchstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_routability"
+  "../bench/bench_table2_routability.pdb"
+  "CMakeFiles/bench_table2_routability.dir/bench_table2_routability.cpp.o"
+  "CMakeFiles/bench_table2_routability.dir/bench_table2_routability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_routability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_soc.dir/hierarchical_soc.cpp.o"
+  "CMakeFiles/hierarchical_soc.dir/hierarchical_soc.cpp.o.d"
+  "hierarchical_soc"
+  "hierarchical_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_cluster.dir/multilevel.cpp.o"
+  "CMakeFiles/rp_cluster.dir/multilevel.cpp.o.d"
+  "librp_cluster.a"
+  "librp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routplace.dir/__/tools/routplace_main.cpp.o"
+  "CMakeFiles/routplace.dir/__/tools/routplace_main.cpp.o.d"
+  "routplace"
+  "routplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

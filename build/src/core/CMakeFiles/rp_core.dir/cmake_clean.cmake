@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_core.dir/channels.cpp.o"
+  "CMakeFiles/rp_core.dir/channels.cpp.o.d"
+  "CMakeFiles/rp_core.dir/cli.cpp.o"
+  "CMakeFiles/rp_core.dir/cli.cpp.o.d"
+  "CMakeFiles/rp_core.dir/flow.cpp.o"
+  "CMakeFiles/rp_core.dir/flow.cpp.o.d"
+  "CMakeFiles/rp_core.dir/global_placer.cpp.o"
+  "CMakeFiles/rp_core.dir/global_placer.cpp.o.d"
+  "CMakeFiles/rp_core.dir/inflation.cpp.o"
+  "CMakeFiles/rp_core.dir/inflation.cpp.o.d"
+  "CMakeFiles/rp_core.dir/report.cpp.o"
+  "CMakeFiles/rp_core.dir/report.cpp.o.d"
+  "librp_core.a"
+  "librp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_db.dir/bookshelf.cpp.o"
+  "CMakeFiles/rp_db.dir/bookshelf.cpp.o.d"
+  "CMakeFiles/rp_db.dir/design.cpp.o"
+  "CMakeFiles/rp_db.dir/design.cpp.o.d"
+  "CMakeFiles/rp_db.dir/hierarchy.cpp.o"
+  "CMakeFiles/rp_db.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/rp_db.dir/validate.cpp.o"
+  "CMakeFiles/rp_db.dir/validate.cpp.o.d"
+  "librp_db.a"
+  "librp_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

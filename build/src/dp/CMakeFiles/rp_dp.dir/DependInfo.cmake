@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/detailed.cpp" "src/dp/CMakeFiles/rp_dp.dir/detailed.cpp.o" "gcc" "src/dp/CMakeFiles/rp_dp.dir/detailed.cpp.o.d"
+  "/root/repo/src/dp/hungarian.cpp" "src/dp/CMakeFiles/rp_dp.dir/hungarian.cpp.o" "gcc" "src/dp/CMakeFiles/rp_dp.dir/hungarian.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/rp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/legal/CMakeFiles/rp_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/rp_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

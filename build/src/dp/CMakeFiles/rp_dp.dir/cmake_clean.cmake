@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_dp.dir/detailed.cpp.o"
+  "CMakeFiles/rp_dp.dir/detailed.cpp.o.d"
+  "CMakeFiles/rp_dp.dir/hungarian.cpp.o"
+  "CMakeFiles/rp_dp.dir/hungarian.cpp.o.d"
+  "librp_dp.a"
+  "librp_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_gen.dir/generator.cpp.o"
+  "CMakeFiles/rp_gen.dir/generator.cpp.o.d"
+  "CMakeFiles/rp_gen.dir/suite.cpp.o"
+  "CMakeFiles/rp_gen.dir/suite.cpp.o.d"
+  "librp_gen.a"
+  "librp_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_legal.dir/abacus.cpp.o"
+  "CMakeFiles/rp_legal.dir/abacus.cpp.o.d"
+  "CMakeFiles/rp_legal.dir/macro_legalizer.cpp.o"
+  "CMakeFiles/rp_legal.dir/macro_legalizer.cpp.o.d"
+  "CMakeFiles/rp_legal.dir/subrow.cpp.o"
+  "CMakeFiles/rp_legal.dir/subrow.cpp.o.d"
+  "CMakeFiles/rp_legal.dir/tetris.cpp.o"
+  "CMakeFiles/rp_legal.dir/tetris.cpp.o.d"
+  "librp_legal.a"
+  "librp_legal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_legal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/density.cpp" "src/model/CMakeFiles/rp_model.dir/density.cpp.o" "gcc" "src/model/CMakeFiles/rp_model.dir/density.cpp.o.d"
+  "/root/repo/src/model/objective.cpp" "src/model/CMakeFiles/rp_model.dir/objective.cpp.o" "gcc" "src/model/CMakeFiles/rp_model.dir/objective.cpp.o.d"
+  "/root/repo/src/model/problem.cpp" "src/model/CMakeFiles/rp_model.dir/problem.cpp.o" "gcc" "src/model/CMakeFiles/rp_model.dir/problem.cpp.o.d"
+  "/root/repo/src/model/wirelength.cpp" "src/model/CMakeFiles/rp_model.dir/wirelength.cpp.o" "gcc" "src/model/CMakeFiles/rp_model.dir/wirelength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/rp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

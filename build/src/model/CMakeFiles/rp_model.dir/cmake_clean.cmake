@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_model.dir/density.cpp.o"
+  "CMakeFiles/rp_model.dir/density.cpp.o.d"
+  "CMakeFiles/rp_model.dir/objective.cpp.o"
+  "CMakeFiles/rp_model.dir/objective.cpp.o.d"
+  "CMakeFiles/rp_model.dir/problem.cpp.o"
+  "CMakeFiles/rp_model.dir/problem.cpp.o.d"
+  "CMakeFiles/rp_model.dir/wirelength.cpp.o"
+  "CMakeFiles/rp_model.dir/wirelength.cpp.o.d"
+  "librp_model.a"
+  "librp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

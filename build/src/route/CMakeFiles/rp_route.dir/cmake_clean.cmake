@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_route.dir/estimator.cpp.o"
+  "CMakeFiles/rp_route.dir/estimator.cpp.o.d"
+  "CMakeFiles/rp_route.dir/metrics.cpp.o"
+  "CMakeFiles/rp_route.dir/metrics.cpp.o.d"
+  "CMakeFiles/rp_route.dir/routegrid.cpp.o"
+  "CMakeFiles/rp_route.dir/routegrid.cpp.o.d"
+  "CMakeFiles/rp_route.dir/router.cpp.o"
+  "CMakeFiles/rp_route.dir/router.cpp.o.d"
+  "librp_route.a"
+  "librp_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_solver.dir/cg.cpp.o"
+  "CMakeFiles/rp_solver.dir/cg.cpp.o.d"
+  "librp_solver.a"
+  "librp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_util.dir/logger.cpp.o"
+  "CMakeFiles/rp_util.dir/logger.cpp.o.d"
+  "CMakeFiles/rp_util.dir/str.cpp.o"
+  "CMakeFiles/rp_util.dir/str.cpp.o.d"
+  "CMakeFiles/rp_util.dir/timer.cpp.o"
+  "CMakeFiles/rp_util.dir/timer.cpp.o.d"
+  "librp_util.a"
+  "librp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/test_util.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/rp_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/rp_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/legal/CMakeFiles/rp_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/rp_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/rp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

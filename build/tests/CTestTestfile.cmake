@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_db "/root/repo/build/tests/test_db")
+set_tests_properties(test_db PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bookshelf "/root/repo/build/tests/test_bookshelf")
+set_tests_properties(test_bookshelf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gen "/root/repo/build/tests/test_gen")
+set_tests_properties(test_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_model "/root/repo/build/tests/test_model")
+set_tests_properties(test_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_solver "/root/repo/build/tests/test_solver")
+set_tests_properties(test_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_route "/root/repo/build/tests/test_route")
+set_tests_properties(test_route PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_legal "/root/repo/build/tests/test_legal")
+set_tests_properties(test_legal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dp "/root/repo/build/tests/test_dp")
+set_tests_properties(test_dp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cluster "/root/repo/build/tests/test_cluster")
+set_tests_properties(test_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_flow "/root/repo/build/tests/test_flow")
+set_tests_properties(test_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cli "/root/repo/build/tests/test_cli")
+set_tests_properties(test_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_edge_cases "/root/repo/build/tests/test_edge_cases")
+set_tests_properties(test_edge_cases PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;rp_add_test;/root/repo/tests/CMakeLists.txt;0;")
