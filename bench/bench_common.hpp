@@ -6,13 +6,19 @@
 // synthetic suite from gen/suite.cpp.
 //
 // Environment knobs:
-//   RP_BENCH_QUICK=1   shrink the suite (~1/8 of the cells) for smoke runs.
+//   RP_BENCH_QUICK=1        shrink the suite (~1/8 of the cells) for smoke runs.
+//   RP_BENCH_JSON=<file>    append one run-report JSON line per flow run
+//                           (same schema as `routplace --report-json`), so the
+//                           perf-trajectory tooling consumes bench output
+//                           without scraping tables.
 
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/flow.hpp"
+#include "core/run_report.hpp"
 #include "gen/generator.hpp"
 #include "util/logger.hpp"
 
@@ -41,6 +47,21 @@ struct FlowRun {
   FlowResult result;
 };
 
+/// Append `run`'s report as one JSON line to $RP_BENCH_JSON (no-op if unset).
+inline void maybe_emit_report(const BenchmarkSpec& spec, const FlowRun& run,
+                              const FlowOptions& opt, const Design& d) {
+  const char* path = std::getenv("RP_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  RunReportMeta meta = make_report_meta(d, "generated", run.flow, spec.seed);
+  meta.design = run.bench;
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    RP_WARN("RP_BENCH_JSON: cannot open '%s'", path);
+    return;
+  }
+  out << run_report_json(meta, opt, run.result, /*indent=*/0) << "\n";
+}
+
 /// Run one flow variant on a freshly generated instance of `spec`.
 inline FlowRun run_flow(const BenchmarkSpec& spec, const std::string& flow_name,
                         const FlowOptions& opt) {
@@ -50,6 +71,7 @@ inline FlowRun run_flow(const BenchmarkSpec& spec, const std::string& flow_name,
   r.bench = spec.name;
   r.flow = flow_name;
   r.result = flow.run(d);
+  maybe_emit_report(spec, r, opt, d);
   return r;
 }
 

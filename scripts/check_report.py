@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Telemetry contract check for the routplace binary.
+
+Runs `routplace --gen ... --report-json ... --trace-json ...` on a small
+generated design and validates:
+  * the run report against the schema documented in DESIGN.md
+    ("Observability"), including cross-checks between the report and the
+    summary the binary printed;
+  * the trace file as a loadable Chrome trace-event document with spans for
+    every flow stage, each multilevel level, and each routability round.
+
+Usage: check_report.py /path/to/routplace [--keep]
+Exit code 0 on success; prints every failed expectation otherwise.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+FAILURES = []
+
+
+def check(cond, what):
+    if not cond:
+        FAILURES.append(what)
+    return cond
+
+
+def expect_keys(obj, keys, where):
+    for k in keys:
+        check(k in obj, f"{where}: missing key '{k}'")
+
+
+def validate_report(report, stdout_text):
+    expect_keys(report, [
+        "schema_version", "tool", "design", "mode", "options", "eval", "gp",
+        "gp_trace", "macro_legal", "legal", "dp", "stage_times",
+        "stage_total_sec", "counters", "gauges", "peak_rss_kb",
+    ], "report")
+    if FAILURES:
+        return
+
+    check(report["schema_version"] == 1, "report: schema_version != 1")
+    check(report["tool"] == "routplace", "report: tool != routplace")
+
+    design = report["design"]
+    expect_keys(design, ["name", "source", "seed", "cells", "nets", "macros",
+                         "die_w", "die_h", "row_height"], "report.design")
+    check(design["cells"] > 0, "report.design.cells not positive")
+
+    ev = report["eval"]
+    expect_keys(ev, ["hpwl", "scaled_hpwl", "congestion", "route", "legality"],
+                "report.eval")
+    expect_keys(ev["congestion"], ["rc", "ace_005", "ace_1", "ace_2", "ace_5",
+                                   "total_overflow", "overflowed_edges",
+                                   "peak_utilization"], "report.eval.congestion")
+    check(ev["hpwl"] > 0, "report.eval.hpwl not positive")
+    check(ev["scaled_hpwl"] >= ev["hpwl"] - 1e-9,
+          "report.eval.scaled_hpwl < hpwl")
+    check(ev["legality"]["ok"] is True, "report.eval.legality.ok is not true")
+
+    # Cross-check the report against the human-readable summary: the binary
+    # prints HPWL/scaled HPWL/RC with %.4e / %.1f — the JSON must round to
+    # the same strings.
+    m = re.search(r"HPWL\s+([0-9.e+-]+)", stdout_text)
+    if check(m is not None, "stdout: no HPWL line"):
+        check(f"{ev['hpwl']:.4e}" == m.group(1),
+              f"HPWL mismatch: report {ev['hpwl']:.4e} vs printed {m.group(1)}")
+    m = re.search(r"scaled HPWL\s+([0-9.e+-]+)", stdout_text)
+    if check(m is not None, "stdout: no scaled HPWL line"):
+        check(f"{ev['scaled_hpwl']:.4e}" == m.group(1),
+              f"scaled HPWL mismatch: report {ev['scaled_hpwl']:.4e} "
+              f"vs printed {m.group(1)}")
+    m = re.search(r"RC\s+([0-9.]+)", stdout_text)
+    if check(m is not None, "stdout: no RC line"):
+        check(f"{ev['congestion']['rc']:.1f}" == m.group(1),
+              f"RC mismatch: report {ev['congestion']['rc']:.1f} "
+              f"vs printed {m.group(1)}")
+
+    gp = report["gp"]
+    expect_keys(gp, ["final_hpwl", "final_overflow", "total_outer", "levels",
+                     "inflation_rounds", "mean_inflation"], "report.gp")
+    check(gp["total_outer"] > 0, "report.gp.total_outer not positive")
+    check(len(report["gp_trace"]) >= gp["levels"],
+          "report.gp_trace shorter than the level count")
+    for pt in report["gp_trace"][:3]:
+        expect_keys(pt, ["level", "outer", "hpwl", "overflow", "lambda",
+                         "inflation"], "report.gp_trace[i]")
+
+    check(report["counters"].get("gp.outer_iters", 0) > 0,
+          "report.counters.gp.outer_iters not positive")
+    check(report["counters"].get("solver.cg_iters", 0) > 0,
+          "report.counters.solver.cg_iters not positive")
+    check(report["stage_total_sec"] > 0, "report.stage_total_sec not positive")
+    check(report["peak_rss_kb"] > 0, "report.peak_rss_kb not positive")
+    for stage in ("global", "legal", "eval"):
+        check(stage in report["stage_times"],
+              f"report.stage_times missing '{stage}'")
+
+
+def validate_trace(trace, gp_levels, rounds):
+    check("traceEvents" in trace, "trace: missing traceEvents")
+    events = trace.get("traceEvents", [])
+    check(len(events) > 0, "trace: no events")
+    names = set()
+    for e in events:
+        expect_keys(e, ["name", "ph", "ts", "dur", "pid", "tid"], "trace event")
+        if "ph" in e:
+            check(e["ph"] == "X", f"trace event '{e.get('name')}' not a complete event")
+        names.add(e.get("name"))
+    for stage in ("flow", "global", "macro_legal", "legal", "detailed", "eval"):
+        check(stage in names, f"trace: missing flow-stage span '{stage}'")
+    for lvl in range(gp_levels):
+        check(f"gp/level{lvl}" in names, f"trace: missing span 'gp/level{lvl}'")
+    for rnd in range(1, rounds + 1):
+        check(f"gp/routability/round{rnd}" in names,
+              f"trace: missing span 'gp/routability/round{rnd}'")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    binary = Path(sys.argv[1])
+    if not binary.exists():
+        print(f"check_report: binary '{binary}' not found")
+        return 2
+
+    rounds = 2
+    with tempfile.TemporaryDirectory(prefix="rp_check_report_") as tmp:
+        tmp = Path(tmp)
+        report_path = tmp / "run.report.json"
+        trace_path = tmp / "run.trace.json"
+        cmd = [str(binary), "--gen", "600", "--seed", "7", "--rounds",
+               str(rounds), "--out", str(tmp / "out.pl"),
+               "--report-json", str(report_path),
+               "--trace-json", str(trace_path)]
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=280)
+        if not check(proc.returncode == 0,
+                     f"routplace exited {proc.returncode}:\n{proc.stderr[-2000:]}"):
+            print("\n".join(FAILURES))
+            return 1
+        if not check(report_path.exists(), "report file not written") or \
+           not check(trace_path.exists(), "trace file not written"):
+            print("\n".join(FAILURES))
+            return 1
+
+        try:
+            report = json.loads(report_path.read_text())
+        except json.JSONDecodeError as e:
+            print(f"report is not valid JSON: {e}")
+            return 1
+        try:
+            trace = json.loads(trace_path.read_text())
+        except json.JSONDecodeError as e:
+            print(f"trace is not valid JSON: {e}")
+            return 1
+
+        validate_report(report, proc.stdout)
+        # Inflation may converge early; only require the rounds that ran.
+        ran_rounds = min(rounds, report.get("gp", {}).get("inflation_rounds", 0))
+        validate_trace(trace, report.get("gp", {}).get("levels", 0), ran_rounds)
+
+    if FAILURES:
+        print("check_report: FAILED")
+        for f in FAILURES:
+            print(f"  - {f}")
+        return 1
+    print("check_report: OK (report + trace schema-valid and consistent)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 
 #include "util/assert.hpp"
 #include "util/logger.hpp"
+#include "util/telemetry.hpp"
 
 namespace rp {
 
@@ -28,6 +29,7 @@ Multilevel::Multilevel(const Design& d, const ClusterOptions& opt)
       if (!n.fixed) ++movable;
     if (movable <= opt_.target_nodes) break;
     if (!coarsen_once(rng)) break;
+    RP_COUNT("cluster.coarsen_passes", 1);
   }
   RP_INFO("multilevel: %d levels (finest %zu nodes, coarsest %zu nodes)", num_levels(),
           levels_.front().prob.nodes.size(), levels_.back().prob.nodes.size());

@@ -3,10 +3,12 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "core/run_report.hpp"
 #include "db/bookshelf.hpp"
 #include "gen/generator.hpp"
 #include "util/logger.hpp"
 #include "util/str.hpp"
+#include "util/telemetry.hpp"
 
 namespace rp {
 
@@ -32,8 +34,13 @@ std::string cli_usage() {
       "output:\n"
       "  --out <file.pl>         placement output (default <design>.rp.pl)\n"
       "  --map                   print the routed-congestion ASCII map\n"
+      "  --report-json <file>    write a structured JSON run report\n"
+      "  --trace-json <file>     write a chrome://tracing / Perfetto flow trace\n"
       "  --verbose               per-iteration placer logging\n"
-      "  --help                  this text\n";
+      "  --help                  this text\n"
+      "\n"
+      "environment:\n"
+      "  RP_LOG_LEVEL            debug|info|warn|error|silent — overrides --verbose\n";
 }
 
 CliConfig parse_cli_args(const std::vector<std::string>& args) {
@@ -55,6 +62,8 @@ CliConfig parse_cli_args(const std::vector<std::string>& args) {
     else if (a == "--density") cfg.target_density = to_double(need_value(i++, a));
     else if (a == "--rounds") cfg.routability_rounds = static_cast<int>(to_long(need_value(i++, a)));
     else if (a == "--skip-dp") cfg.skip_dp = true;
+    else if (a == "--report-json") cfg.report_json = need_value(i++, a);
+    else if (a == "--trace-json") cfg.trace_json = need_value(i++, a);
     else if (a == "--map") cfg.show_map = true;
     else if (a == "--verbose") cfg.verbose = true;
     else if (a == "--help" || a == "-h") cfg.help = true;
@@ -100,8 +109,24 @@ int run_cli(const CliConfig& cfg) {
     d = generate_benchmark(spec);
   }
 
+  if (!cfg.trace_json.empty()) telemetry::start_trace();
+
   PlacementFlow flow(cli_flow_options(cfg));
   const FlowResult r = flow.run(d);
+
+  if (!cfg.trace_json.empty()) {
+    telemetry::stop_trace();
+    if (telemetry::write_trace_json(cfg.trace_json))
+      RP_INFO("trace written to '%s' (load in chrome://tracing or ui.perfetto.dev)",
+              cfg.trace_json.c_str());
+  }
+  if (!cfg.report_json.empty()) {
+    const RunReportMeta meta = make_report_meta(
+        d, cfg.aux.empty() ? "generated" : "bookshelf", cfg.mode,
+        cfg.aux.empty() ? cfg.seed : 0);
+    if (write_run_report(cfg.report_json, meta, flow.options(), r))
+      RP_INFO("run report written to '%s'", cfg.report_json.c_str());
+  }
 
   const std::string out = cfg.out_pl.empty() ? d.name() + ".rp.pl" : cfg.out_pl;
   write_pl(d, out);
@@ -116,8 +141,9 @@ int run_cli(const CliConfig& cfg) {
               r.eval.congestion.total_overflow, r.eval.congestion.overflowed_edges,
               r.eval.congestion.peak_utilization);
   std::printf("  legal        %s\n", r.eval.legality.ok() ? "yes" : "NO");
-  std::printf("  runtime      %s\n", r.times.report().c_str());
+  std::printf("  runtime      %s\n", r.times.report_flat().c_str());
   std::printf("  solution     %s\n", out.c_str());
+  std::printf("\nruntime breakdown:\n%s\n", r.times.report().c_str());
   if (cfg.show_map) {
     std::printf("\nrouted congestion ('#'>105%%, '+'>95%%, ':'>80%%, 'M' macro):\n%s",
                 congestion_ascii(d, 64).c_str());

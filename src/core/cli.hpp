@@ -28,6 +28,9 @@ struct CliConfig {
   bool verbose = false;
   bool show_map = false;     ///< Print the ASCII congestion map at the end.
   bool help = false;
+  // Telemetry outputs (empty: disabled):
+  std::string report_json;   ///< Structured run report (see core/run_report.hpp).
+  std::string trace_json;    ///< Chrome trace-event flow trace.
 };
 
 /// Parse argv (excluding argv[0]). Throws std::runtime_error on unknown or

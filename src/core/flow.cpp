@@ -4,6 +4,7 @@
 
 #include "route/estimator.hpp"
 #include "util/logger.hpp"
+#include "util/telemetry.hpp"
 
 namespace rp {
 
@@ -23,22 +24,31 @@ FlowOptions wirelength_driven_options() {
 
 FlowResult PlacementFlow::run(Design& d) {
   FlowResult r;
+  // Every flow run starts from a clean counter slate, so a run's report
+  // reflects that run only (bench binaries run many flows per process).
+  telemetry::Registry::instance().reset();
+  RP_TRACE_SPAN("flow");
 
   {
     ScopedStage t(r.times, "global");
+    RP_TRACE_SPAN("global");
     GlobalPlacer gp(opt_.gp);
     r.gp = gp.run(d);
     r.gp_trace = gp.trace();
+    r.times.merge("global", gp.times());
   }
 
   {
     ScopedStage t(r.times, "macro_legal");
+    RP_TRACE_SPAN("macro_legal");
     r.macro_legal = legalize_macros(d, opt_.macro_legal);
     freeze_macros(d);
+    RP_COUNT("legal.macros", r.macro_legal.macros);
   }
 
   {
     ScopedStage t(r.times, "legal");
+    RP_TRACE_SPAN("legal");
     LegalizeStats ls;
     if (opt_.legalizer == "abacus") {
       AbacusLegalizer lg(opt_.legal);
@@ -50,18 +60,25 @@ FlowResult PlacementFlow::run(Design& d) {
       throw std::runtime_error("unknown legalizer '" + opt_.legalizer + "'");
     }
     r.legal = ls;
+    RP_COUNT("legal.cells", ls.cells);
+    RP_COUNT("legal.failed", ls.failed);
     RP_INFO("legalization (%s): %d cells, avg disp %.2f, max %.2f, %d failed",
             opt_.legalizer.c_str(), ls.cells, ls.avg_disp(), ls.max_disp, ls.failed);
   }
 
   if (!opt_.skip_dp) {
     ScopedStage t(r.times, "detailed");
+    RP_TRACE_SPAN("detailed");
     DetailedPlaceOptions dpo = opt_.dp;
     DetailedPlacer dp(dpo);
     if (opt_.congestion_aware_dp) {
       // Feed the DP the post-GP congestion picture.
       RoutingGrid rg(d, true);
-      estimate_probabilistic(d, rg);
+      {
+        ScopedStage te(r.times, "estimate");
+        RP_TRACE_SPAN("detailed/estimate");
+        estimate_probabilistic(d, rg);
+      }
       double w = opt_.dp_congestion_weight;
       if (w <= 0.0) w = 2.0 * d.row_height();
       dpo.congestion_weight = w;
@@ -79,7 +96,12 @@ FlowResult PlacementFlow::run(Design& d) {
 
   if (!opt_.skip_eval) {
     ScopedStage t(r.times, "eval");
+    RP_TRACE_SPAN("eval");
     r.eval = evaluate_placement(d, opt_.eval);
+    RP_GAUGE("eval.hpwl", r.eval.hpwl);
+    RP_GAUGE("eval.scaled_hpwl", r.eval.scaled_hpwl);
+    RP_GAUGE("eval.rc", r.eval.congestion.rc);
+    RP_GAUGE("eval.total_overflow", r.eval.congestion.total_overflow);
     RP_INFO("eval: hpwl %.4e scaled %.4e RC %.1f overflow %.0f (%d edges) legal=%s",
             r.eval.hpwl, r.eval.scaled_hpwl, r.eval.congestion.rc,
             r.eval.congestion.total_overflow, r.eval.congestion.overflowed_edges,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include <memory>
+#include <string>
+
 #include "core/channels.hpp"
 #include "core/inflation.hpp"
 #include "route/estimator.hpp"
@@ -10,6 +13,7 @@
 #include "model/objective.hpp"
 #include "util/logger.hpp"
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
 
 namespace rp {
 
@@ -91,6 +95,7 @@ GlobalPlacer::LevelResult GlobalPlacer::place_level(PlaceProblem& prob,
     }, z, cgo);
     obj.unpack(z);
 
+    RP_COUNT("gp.outer_iters", 1);
     const double ovfl = dens.overflow(prob);
     GpTracePoint tp;
     tp.level = level_tag;
@@ -127,16 +132,26 @@ GlobalPlacer::LevelResult GlobalPlacer::place_level(PlaceProblem& prob,
 GpStats GlobalPlacer::run(Design& d) {
   RP_ASSERT(d.finalized(), "GlobalPlacer needs a finalized design");
   trace_.clear();
+  times_ = StageTimes();
   GpStats stats;
   Rng rng(12345);
 
-  Multilevel ml(d, opt_.cluster);
+  std::unique_ptr<Multilevel> ml_holder;
+  {
+    ScopedStage t(times_, "clustering");
+    RP_TRACE_SPAN("gp/clustering");
+    ml_holder = std::make_unique<Multilevel>(d, opt_.cluster);
+  }
+  Multilevel& ml = *ml_holder;
   stats.levels = ml.num_levels();
+  RP_COUNT("gp.levels", stats.levels);
 
   // Coarsest level starts from scratch.
   initial_positions(ml.level(ml.top()).prob, rng);
 
   for (int l = ml.top(); l >= 0; --l) {
+    ScopedStage lt(times_, "level" + std::to_string(l));
+    RP_TRACE_SPAN("gp/level" + std::to_string(l));
     PlaceProblem& prob = ml.level(l).prob;
     DensityConfig dc;
     dc.target_density = opt_.target_density;
@@ -164,6 +179,8 @@ GpStats GlobalPlacer::run(Design& d) {
     // Routability loop at the finest level.
     if (finest && opt_.routability.enable && opt_.routability.cell_inflation) {
       for (int round = 0; round < opt_.routability.rounds; ++round) {
+        ScopedStage rt(times_, "routability");
+        RP_TRACE_SPAN("gp/routability/round" + std::to_string(round + 1));
         apply_solution(prob, d);
         RoutingGrid rg(d, /*include_movable_macros=*/true);
         estimate_probabilistic(d, rg);
@@ -171,6 +188,7 @@ GpStats GlobalPlacer::run(Design& d) {
             prob, rg, opt_.routability.inflate_rate, opt_.routability.max_inflate,
             opt_.routability.max_total_inflation);
         ++stats.inflation_rounds;
+        RP_COUNT("gp.inflation_rounds", 1);
         if (ir.cells_inflated == 0) break;
         RP_INFO("gp routability round %d: %d cells inflated, mean %.3f", round + 1,
                 ir.cells_inflated, ir.mean_inflation);
@@ -196,6 +214,9 @@ GpStats GlobalPlacer::run(Design& d) {
     stats.final_overflow = dens.overflow(ml.level(0).prob);
   }
   stats.mean_inflation = mean_inflation(ml.level(0).prob);
+  RP_GAUGE("gp.final_hpwl", stats.final_hpwl);
+  RP_GAUGE("gp.final_overflow", stats.final_overflow);
+  RP_GAUGE("gp.mean_inflation", stats.mean_inflation);
   RP_INFO("global placement done: hpwl %.4e, overflow %.3f, %d outer iters, %d levels",
           stats.final_hpwl, stats.final_overflow, stats.total_outer, stats.levels);
   return stats;

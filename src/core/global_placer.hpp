@@ -24,6 +24,7 @@
 #include "db/design.hpp"
 #include "model/density.hpp"
 #include "model/wirelength.hpp"
+#include "util/timer.hpp"
 
 namespace rp {
 
@@ -86,6 +87,10 @@ class GlobalPlacer {
 
   const std::vector<GpTracePoint>& trace() const { return trace_; }
 
+  /// Internal runtime breakdown ("clustering", "level<k>", "routability"),
+  /// spliced into the flow's StageTimes under "global/".
+  const StageTimes& times() const { return times_; }
+
  private:
   struct LevelResult {
     int outers = 0;
@@ -101,6 +106,7 @@ class GlobalPlacer {
 
   GpOptions opt_;
   std::vector<GpTracePoint> trace_;
+  StageTimes times_;
 };
 
 }  // namespace rp

@@ -1,0 +1,192 @@
+#include "core/run_report.hpp"
+
+#include <cstdio>
+
+#include "util/json.hpp"
+#include "util/logger.hpp"
+#include "util/telemetry.hpp"
+
+namespace rp {
+
+RunReportMeta make_report_meta(const Design& d, const std::string& source,
+                               const std::string& mode, std::uint64_t seed) {
+  RunReportMeta m;
+  m.design = d.name();
+  m.source = source;
+  m.mode = mode;
+  m.seed = seed;
+  m.cells = d.num_cells();
+  m.nets = d.num_nets();
+  m.macros = d.num_macros();
+  m.die_w = d.die().width();
+  m.die_h = d.die().height();
+  m.row_height = d.row_height();
+  return m;
+}
+
+namespace {
+
+void write_options(JsonWriter& w, const FlowOptions& opt) {
+  w.key("options").begin_object();
+  w.kv("legalizer", opt.legalizer);
+  w.kv("congestion_aware_dp", opt.congestion_aware_dp);
+  w.kv("skip_dp", opt.skip_dp);
+  w.kv("skip_eval", opt.skip_eval);
+  w.key("gp").begin_object();
+  w.kv("wl_model", opt.gp.wl_model);
+  w.kv("target_density", opt.gp.target_density);
+  w.kv("stop_overflow", opt.gp.stop_overflow);
+  w.kv("max_outer", opt.gp.max_outer);
+  w.kv("cg_iters", opt.gp.cg_iters);
+  w.end_object();
+  w.key("routability").begin_object();
+  w.kv("enable", opt.gp.routability.enable);
+  w.kv("cell_inflation", opt.gp.routability.cell_inflation);
+  w.kv("narrow_channels", opt.gp.routability.narrow_channels);
+  w.kv("rounds", opt.gp.routability.rounds);
+  w.kv("inflate_rate", opt.gp.routability.inflate_rate);
+  w.kv("max_total_inflation", opt.gp.routability.max_total_inflation);
+  w.end_object();
+  w.key("eval").begin_object();
+  w.kv("run_router", opt.eval.run_router);
+  w.kv("check_legal", opt.eval.check_legal);
+  w.end_object();
+  w.end_object();
+}
+
+void write_eval(JsonWriter& w, const EvalResult& e) {
+  w.key("eval").begin_object();
+  w.kv("hpwl", e.hpwl);
+  w.kv("scaled_hpwl", e.scaled_hpwl);
+  w.key("congestion").begin_object();
+  w.kv("rc", e.congestion.rc);
+  w.kv("ace_005", e.congestion.ace_005);
+  w.kv("ace_1", e.congestion.ace_1);
+  w.kv("ace_2", e.congestion.ace_2);
+  w.kv("ace_5", e.congestion.ace_5);
+  w.kv("peak_utilization", e.congestion.peak_utilization);
+  w.kv("total_overflow", e.congestion.total_overflow);
+  w.kv("overflowed_edges", e.congestion.overflowed_edges);
+  w.end_object();
+  w.key("route").begin_object();
+  w.kv("wirelength", e.route.wirelength);
+  w.kv("iterations", e.route.iterations);
+  w.kv("segments", e.route.segments);
+  w.kv("overflow_free", e.route.overflow_free);
+  w.end_object();
+  w.key("legality").begin_object();
+  w.kv("ok", e.legality.ok());
+  w.kv("overlaps", e.legality.overlaps);
+  w.kv("row_misaligned", e.legality.row_misaligned);
+  w.kv("site_misaligned", e.legality.site_misaligned);
+  w.kv("out_of_die", e.legality.out_of_die);
+  w.kv("region_violations", e.legality.region_violations);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
+                            const FlowResult& r, int indent) {
+  JsonWriter w(indent);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("tool", "routplace");
+
+  w.key("design").begin_object();
+  w.kv("name", meta.design);
+  w.kv("source", meta.source);
+  w.kv("seed", meta.seed);
+  w.kv("cells", meta.cells);
+  w.kv("nets", meta.nets);
+  w.kv("macros", meta.macros);
+  w.kv("die_w", meta.die_w);
+  w.kv("die_h", meta.die_h);
+  w.kv("row_height", meta.row_height);
+  w.end_object();
+
+  w.kv("mode", meta.mode);
+  write_options(w, opt);
+  write_eval(w, r.eval);
+
+  w.key("gp").begin_object();
+  w.kv("final_hpwl", r.gp.final_hpwl);
+  w.kv("final_overflow", r.gp.final_overflow);
+  w.kv("total_outer", r.gp.total_outer);
+  w.kv("levels", r.gp.levels);
+  w.kv("inflation_rounds", r.gp.inflation_rounds);
+  w.kv("mean_inflation", r.gp.mean_inflation);
+  w.end_object();
+
+  w.key("gp_trace").begin_array();
+  for (const GpTracePoint& p : r.gp_trace) {
+    w.begin_object();
+    w.kv("level", p.level);
+    w.kv("outer", p.outer);
+    w.kv("hpwl", p.hpwl);
+    w.kv("overflow", p.overflow);
+    w.kv("lambda", p.lambda);
+    w.kv("inflation", p.inflation);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("macro_legal").begin_object();
+  w.kv("macros", r.macro_legal.macros);
+  w.kv("failed", r.macro_legal.failed);
+  w.kv("total_disp", r.macro_legal.total_disp);
+  w.kv("max_disp", r.macro_legal.max_disp);
+  w.end_object();
+
+  w.key("legal").begin_object();
+  w.kv("cells", r.legal.cells);
+  w.kv("failed", r.legal.failed);
+  w.kv("avg_disp", r.legal.avg_disp());
+  w.kv("max_disp", r.legal.max_disp);
+  w.end_object();
+
+  w.key("dp").begin_object();
+  w.kv("hpwl_before", r.dp.hpwl_before);
+  w.kv("hpwl_after", r.dp.hpwl_after);
+  w.kv("improvement", r.dp.improvement());
+  w.kv("swaps", static_cast<std::int64_t>(r.dp.swaps));
+  w.kv("relocations", static_cast<std::int64_t>(r.dp.relocations));
+  w.kv("reorders", static_cast<std::int64_t>(r.dp.reorders));
+  w.kv("ism_moves", static_cast<std::int64_t>(r.dp.ism_moves));
+  w.end_object();
+
+  w.key("stage_times").begin_object();
+  for (const auto& [name, sec] : r.times.entries()) w.kv(name, sec);
+  w.end_object();
+  w.kv("stage_total_sec", r.times.total());
+
+  const auto& reg = telemetry::Registry::instance();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : reg.counters()) w.kv(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : reg.gauges()) w.kv(name, v);
+  w.end_object();
+
+  w.kv("peak_rss_kb", static_cast<std::int64_t>(telemetry::peak_rss_kb()));
+  w.end_object();
+  return w.str();
+}
+
+bool write_run_report(const std::string& path, const RunReportMeta& meta,
+                      const FlowOptions& opt, const FlowResult& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    RP_ERROR("run report: cannot open '%s'", path.c_str());
+    return false;
+  }
+  const std::string doc = run_report_json(meta, opt, r);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (!ok) RP_ERROR("run report: short write to '%s'", path.c_str());
+  return ok;
+}
+
+}  // namespace rp

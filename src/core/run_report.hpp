@@ -1,0 +1,52 @@
+#pragma once
+// Structured (machine-readable) run reports.
+//
+// A run report is one JSON document capturing everything a single
+// PlacementFlow::run produced: the design/seed/options fingerprint, the
+// evaluation bundle (HPWL, scaled HPWL, ACE/RC, overflow, legality), per-stage
+// stats (GP, macro legal, legal, DP), the full GP convergence trace, the
+// nested stage-time breakdown, a snapshot of every telemetry counter/gauge,
+// and the process peak RSS. Emitted by `routplace --report-json <file>`, by
+// the bench binaries (RP_BENCH_JSON=<file>, one JSON line per run), and
+// consumable by scripts/check_report.py and the BENCH_* trajectory tooling.
+//
+// Schema (stable keys; see DESIGN.md "Observability" for the full contract):
+//   schema_version, tool, design{...}, options{...}, eval{...}, gp{...},
+//   gp_trace[...], macro_legal{...}, legal{...}, dp{...},
+//   stage_times{...}, stage_total_sec, counters{...}, gauges{...},
+//   peak_rss_kb
+
+#include <cstdint>
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace rp {
+
+/// Provenance the FlowResult itself does not carry.
+struct RunReportMeta {
+  std::string design;             ///< Design name.
+  std::string source;             ///< "bookshelf" | "generated" | "api".
+  std::string mode;               ///< "routability" | "wirelength" | "custom".
+  std::uint64_t seed = 0;         ///< Generator seed (0 for file input).
+  int cells = 0;
+  int nets = 0;
+  int macros = 0;
+  double die_w = 0.0;
+  double die_h = 0.0;
+  double row_height = 0.0;
+};
+
+/// Fill a RunReportMeta's design-shape fields from a Design.
+RunReportMeta make_report_meta(const Design& d, const std::string& source,
+                               const std::string& mode, std::uint64_t seed);
+
+/// Serialize the run report document (pretty-printed when indent > 0).
+std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
+                            const FlowResult& r, int indent = 2);
+
+/// Write run_report_json() to a file; returns false (and logs) on failure.
+bool write_run_report(const std::string& path, const RunReportMeta& meta,
+                      const FlowOptions& opt, const FlowResult& r);
+
+}  // namespace rp

@@ -8,6 +8,7 @@
 #include "legal/subrow.hpp"
 #include "util/assert.hpp"
 #include "util/logger.hpp"
+#include "util/telemetry.hpp"
 
 namespace rp {
 
@@ -230,6 +231,8 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
     if (d.cell(c).kind == CellKind::StdCell && rows.subrow_of(c) >= 0) order.push_back(c);
 
   for (int pass = 0; pass < opt_.passes; ++pass) {
+    RP_TRACE_SPAN("dp/pass" + std::to_string(pass + 1));
+    RP_COUNT("dp.passes", 1);
     // ---------------- global swap / relocation ----------------
     if (opt_.enable_global_swap) {
       rng.shuffle(order);
@@ -468,6 +471,10 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
   }
 
   stats.hpwl_after = d.hpwl();
+  RP_COUNT("dp.swaps", stats.swaps);
+  RP_COUNT("dp.relocations", stats.relocations);
+  RP_COUNT("dp.reorders", stats.reorders);
+  RP_COUNT("dp.ism_moves", stats.ism_moves);
   return stats;
 }
 

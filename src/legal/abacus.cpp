@@ -17,6 +17,7 @@
 #include "legal/legalizer.hpp"
 #include "legal/subrow.hpp"
 #include "util/logger.hpp"
+#include "util/telemetry.hpp"
 
 namespace rp {
 
@@ -83,6 +84,7 @@ double append_and_collapse(const Subrow& sr, RowState& rs, const ClusterCell& cc
     prev.last_cell = last.last_cell;
     cl.pop_back();
     cl.back().x = clamp_cluster_x(sr, cl.back());
+    if (commit) RP_COUNT("legal.cluster_merges", 1);
   }
   cl.back().x = clamp_cluster_x(sr, cl.back());
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/telemetry.hpp"
+
 namespace rp {
 
 std::vector<std::pair<int, int>> net_topology(const std::vector<Point>& pts) {
@@ -89,6 +91,8 @@ void add_v_run(RoutingGrid& rg, int ix, int y0, int y1, double w) {
 }  // namespace
 
 void estimate_probabilistic(const Design& d, RoutingGrid& rg) {
+  RP_COUNT("route.estimates", 1);
+  RP_TRACE_SPAN("route/estimate");
   rg.clear_usage();
   const GridMap& m = rg.map();
   std::vector<Point> pts;

@@ -7,6 +7,7 @@
 #include "route/estimator.hpp"
 #include "util/assert.hpp"
 #include "util/logger.hpp"
+#include "util/telemetry.hpp"
 
 namespace rp {
 
@@ -131,6 +132,7 @@ double GlobalRouter::route_segment(const Segment& s, std::vector<int>& path, int
 }
 
 RouteStats GlobalRouter::route(const Design& d) {
+  RP_TRACE_SPAN("route");
   const GridMap& m = grid_.map();
   grid_.clear_usage();
   pres_fac_ = opt_.pres_fac_init;
@@ -158,6 +160,7 @@ RouteStats GlobalRouter::route(const Design& d) {
   std::vector<std::vector<int>> paths(segs.size());
   RouteStats stats;
   stats.segments = static_cast<int>(segs.size());
+  RP_COUNT("route.segments", stats.segments);
 
   // Initial routing pass.
   for (std::size_t i = 0; i < segs.size(); ++i) {
@@ -167,6 +170,7 @@ RouteStats GlobalRouter::route(const Design& d) {
 
   for (int it = 1; it <= opt_.max_iterations; ++it) {
     stats.iterations = it;
+    RP_COUNT("route.ripup_rounds", 1);
     // Identify overflowed edges; bump history.
     std::vector<char> edge_over(history_.size(), 0);
     int over_edges = 0;
@@ -212,6 +216,7 @@ RouteStats GlobalRouter::route(const Design& d) {
       for (const int e : paths[i]) add_edge_usage(e, 1.0);
       ++rerouted;
     }
+    RP_COUNT("route.segments_rerouted", rerouted);
     RP_DEBUG("router iter %d: %d overflowed edges, %d segments rerouted", it, over_edges,
              rerouted);
   }

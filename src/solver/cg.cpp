@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/telemetry.hpp"
 
 namespace rp {
 
@@ -82,6 +83,8 @@ CgResult minimize_cg(const CgObjective& f, std::vector<double>& z, const CgOptio
       for (std::size_t i = 0; i < n; ++i) d[i] = -g[i];
     }
   }
+  RP_COUNT("solver.cg_calls", 1);
+  RP_COUNT("solver.cg_iters", res.iters);
   return res;
 }
 

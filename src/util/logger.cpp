@@ -1,11 +1,23 @@
 #include "util/logger.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace rp {
 
 namespace {
+
 LogLevel g_level = LogLevel::Info;
+bool g_env_forced = false;
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point epoch() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
 
 const char* tag(LogLevel lv) {
   switch (lv) {
@@ -16,14 +28,64 @@ const char* tag(LogLevel lv) {
     default: return "?";
   }
 }
+
+bool parse_level(const char* s, LogLevel& out) {
+  const auto is = [s](const char* w) { return std::strcmp(s, w) == 0; };
+  if (is("debug") || is("DEBUG") || is("0")) out = LogLevel::Debug;
+  else if (is("info") || is("INFO") || is("1")) out = LogLevel::Info;
+  else if (is("warn") || is("WARN") || is("2")) out = LogLevel::Warn;
+  else if (is("error") || is("ERROR") || is("3")) out = LogLevel::Error;
+  else if (is("silent") || is("SILENT") || is("4")) out = LogLevel::Silent;
+  else return false;
+  return true;
+}
+
+void ensure_env_read() {
+  static bool done = false;
+  if (!done) {
+    done = true;
+    Logger::init_from_env();
+  }
+}
+
 }  // namespace
 
-LogLevel Logger::level() { return g_level; }
-void Logger::set_level(LogLevel lv) { g_level = lv; }
+void Logger::init_from_env() {
+  const char* e = std::getenv("RP_LOG_LEVEL");
+  if (e == nullptr || e[0] == '\0') {
+    g_env_forced = false;
+    return;
+  }
+  LogLevel lv;
+  if (parse_level(e, lv)) {
+    g_level = lv;
+    g_env_forced = true;
+  } else {
+    g_env_forced = false;
+    std::fprintf(stderr, "[%9.3fs] [WARN ] RP_LOG_LEVEL='%s' not recognized "
+                 "(use debug|info|warn|error|silent)\n", elapsed_seconds(), e);
+  }
+}
+
+double Logger::elapsed_seconds() {
+  return std::chrono::duration<double>(Clock::now() - epoch()).count();
+}
+
+LogLevel Logger::level() {
+  ensure_env_read();
+  return g_level;
+}
+
+void Logger::set_level(LogLevel lv) {
+  ensure_env_read();
+  if (g_env_forced) return;  // the environment override wins
+  g_level = lv;
+}
 
 void Logger::log(LogLevel lv, const char* fmt, ...) {
+  ensure_env_read();
   if (static_cast<int>(lv) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%s] ", tag(lv));
+  std::fprintf(stderr, "[%9.3fs] [%s] ", elapsed_seconds(), tag(lv));
   va_list ap;
   va_start(ap, fmt);
   std::vfprintf(stderr, fmt, ap);

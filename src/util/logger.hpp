@@ -2,7 +2,14 @@
 // Minimal leveled logger.
 //
 // The placer is a batch tool: logging goes to stderr, formatted printf-style,
-// and is globally filterable by level (benchmarks silence it below Warn).
+// prefixed with the elapsed wall time and the level
+// (`[  12.345s] [INFO ] ...`), and is globally filterable by level
+// (benchmarks silence it below Warn).
+//
+// The `RP_LOG_LEVEL` environment variable (debug|info|warn|error|silent, or
+// the numeric 0–4) overrides every programmatic set_level() call, so benches
+// and CI can silence or raise verbosity without code changes.
+//
 // Not thread-safe by design — the placer is single-threaded.
 
 #include <cstdarg>
@@ -15,12 +22,21 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
 class Logger {
  public:
   static LogLevel level();
+  /// Set the level. Ignored while an RP_LOG_LEVEL override is active.
   static void set_level(LogLevel lv);
+
+  /// Re-read RP_LOG_LEVEL (called automatically on first use; exposed so
+  /// tests can exercise the override with setenv/unsetenv).
+  static void init_from_env();
+
+  /// Seconds since the process first logged (the timestamp origin).
+  static double elapsed_seconds();
 
   static void log(LogLevel lv, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 };
 
 /// RAII guard that silences (or changes) logging within a scope.
+/// No-op while an RP_LOG_LEVEL override is active (the override wins).
 class ScopedLogLevel {
  public:
   explicit ScopedLogLevel(LogLevel lv) : prev_(Logger::level()) { Logger::set_level(lv); }

@@ -1,0 +1,149 @@
+#include "util/telemetry.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "util/json.hpp"
+#include "util/logger.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace rp::telemetry {
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(const std::string& name) { return counters_[name]; }
+Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c.value = 0;
+  for (auto& [name, g] : gauges_) g.value = 0.0;
+}
+
+std::int64_t Registry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Registry::counters() const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value);
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.value);
+  return out;
+}
+
+// ------------------------------------------------------------------ trace
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool g_trace_on = false;
+Clock::time_point g_trace_epoch;
+int g_span_depth = 0;
+std::vector<TraceEvent> g_events;
+
+}  // namespace
+
+void start_trace() {
+  g_events.clear();
+  g_span_depth = 0;
+  g_trace_epoch = Clock::now();
+  g_trace_on = true;
+}
+
+void stop_trace() { g_trace_on = false; }
+
+bool trace_enabled() { return g_trace_on; }
+
+double trace_now_us() {
+  if (!g_trace_on) return 0.0;
+  return std::chrono::duration<double, std::micro>(Clock::now() - g_trace_epoch).count();
+}
+
+const std::vector<TraceEvent>& trace_events() { return g_events; }
+
+TraceSpan::TraceSpan(std::string name) : active_(g_trace_on) {
+  if (!active_) return;
+  name_ = std::move(name);
+  t0_ = trace_now_us();
+  ++g_span_depth;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  --g_span_depth;
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.ts_us = t0_;
+  e.dur_us = trace_now_us() - t0_;
+  e.depth = g_span_depth;
+  g_events.push_back(std::move(e));
+}
+
+std::string trace_json() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : g_events) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("cat", "flow");
+    w.kv("ph", "X");
+    w.kv("ts", e.ts_us);
+    w.kv("dur", e.dur_us);
+    w.kv("pid", 1);
+    w.kv("tid", 1);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+bool write_trace_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    RP_ERROR("telemetry: cannot open trace file '%s'", path.c_str());
+    return false;
+  }
+  const std::string doc = trace_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  if (!ok) RP_ERROR("telemetry: short write to trace file '%s'", path.c_str());
+  return ok;
+}
+
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<long>(ru.ru_maxrss / 1024);  // bytes on macOS
+#else
+  return static_cast<long>(ru.ru_maxrss);  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace rp::telemetry

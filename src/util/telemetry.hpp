@@ -1,0 +1,126 @@
+#pragma once
+// Process-global telemetry: named counters/gauges and a flow-event trace.
+//
+// Three rules keep this layer cheap enough to leave compiled in:
+//  * RP_COUNT / RP_GAUGE resolve their registry slot ONCE per call site
+//    (function-local static pointer); the steady-state cost is one add/store.
+//  * Trace spans check a single global flag before touching the clock; with
+//    tracing off a span is a branch and nothing else.
+//  * The registry never deallocates slots — reset() zeroes values in place,
+//    so cached slot pointers stay valid across flow runs.
+//
+// The trace buffer serializes to the Chrome trace-event format
+// (https://chromium.googlesource.com/catapult → trace_event format), loadable
+// in chrome://tracing or https://ui.perfetto.dev.
+//
+// Like the logger, this is single-threaded by design.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rp::telemetry {
+
+struct Counter {
+  std::int64_t value = 0;
+};
+struct Gauge {
+  double value = 0.0;
+};
+
+/// Process-global registry of named counters and gauges.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Find-or-create. The returned reference stays valid for the process
+  /// lifetime (reset() zeroes values but never moves slots).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// Zero every counter and gauge (slot addresses are preserved).
+  void reset();
+
+  /// Current value, 0 for names never touched.
+  std::int64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+
+  /// Name-sorted snapshots for the run report.
+  std::vector<std::pair<std::string, std::int64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+
+ private:
+  std::map<std::string, Counter> counters_;  ///< Node-based: stable addresses.
+  std::map<std::string, Gauge> gauges_;
+};
+
+// ------------------------------------------------------------------ trace
+
+/// One complete ("ph":"X") trace event; timestamps in µs since start_trace().
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int depth = 0;  ///< Span nesting depth at emission (0 = top level).
+};
+
+/// Begin collecting trace events (clears any previous buffer).
+void start_trace();
+/// Stop collecting (the buffer is kept until the next start_trace()).
+void stop_trace();
+bool trace_enabled();
+
+/// Microseconds since start_trace() (0 when tracing is off).
+double trace_now_us();
+
+const std::vector<TraceEvent>& trace_events();
+
+/// Serialize the buffer as a Chrome trace-event JSON document.
+std::string trace_json();
+/// Write trace_json() to a file; returns false (and logs) on I/O failure.
+bool write_trace_json(const std::string& path);
+
+/// RAII span: records a complete event over its lifetime when tracing is on.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  double t0_ = 0.0;
+  bool active_ = false;
+};
+
+/// Peak resident-set size of this process in KiB (0 where unsupported).
+long peak_rss_kb();
+
+}  // namespace rp::telemetry
+
+// Call-site macros. The static slot pointer makes the steady-state cost of a
+// counter bump one pointer-indirect add; safe because Registry slots are
+// never deallocated.
+#define RP_TELEMETRY_CONCAT2(a, b) a##b
+#define RP_TELEMETRY_CONCAT(a, b) RP_TELEMETRY_CONCAT2(a, b)
+
+#define RP_COUNT(name, delta)                                                       \
+  do {                                                                              \
+    static ::rp::telemetry::Counter* rp_tm_slot_ =                                  \
+        &::rp::telemetry::Registry::instance().counter(name);                       \
+    rp_tm_slot_->value += static_cast<std::int64_t>(delta);                         \
+  } while (0)
+
+#define RP_GAUGE(name, v)                                                           \
+  do {                                                                              \
+    static ::rp::telemetry::Gauge* rp_tm_slot_ =                                    \
+        &::rp::telemetry::Registry::instance().gauge(name);                         \
+    rp_tm_slot_->value = static_cast<double>(v);                                    \
+  } while (0)
+
+/// Scoped trace span with a unique local name.
+#define RP_TRACE_SPAN(name) \
+  ::rp::telemetry::TraceSpan RP_TELEMETRY_CONCAT(rp_tm_span_, __LINE__)(name)

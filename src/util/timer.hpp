@@ -23,28 +23,57 @@ class Timer {
 };
 
 /// Accumulates named stage runtimes; used by the flow's runtime breakdown.
+///
+/// Stage names may be hierarchical paths ("gp/level2/solve"): nested
+/// ScopedStage instances on the same StageTimes compose such paths
+/// automatically, report() renders the tree, and total() sums only the root
+/// stages (a child's time is already inside its parent). The flat API —
+/// add()/get() with plain names — behaves exactly as before.
 class StageTimes {
  public:
   void add(const std::string& stage, double sec);
   double get(const std::string& stage) const;
+  /// Σ over root stages (names without '/'): wall-clock, not double-counted.
   double total() const;
+  /// Tree-formatted breakdown, one stage per line, children indented.
   std::string report() const;
+  /// Legacy one-line "name=1.23s ... total=…s" form (root stages only).
+  std::string report_flat() const;
+
+  /// Copy every entry of `other` in under `prefix/` (used to splice a
+  /// sub-component's private StageTimes into the flow's).
+  void merge(const std::string& prefix, const StageTimes& other);
+
+  const std::vector<std::pair<std::string, double>>& entries() const { return stages_; }
 
  private:
+  friend class ScopedStage;
+  /// Compose `stage` under the currently open ScopedStage path.
+  std::string compose(const std::string& stage) const;
+
   std::vector<std::pair<std::string, double>> stages_;
+  std::vector<std::string> open_;  ///< Stack of live ScopedStage names.
 };
 
 /// RAII: adds the scope's elapsed time to a StageTimes entry at destruction.
+/// Nested ScopedStages on the same StageTimes record hierarchical paths:
+/// ScopedStage("solve") inside ScopedStage("gp") accumulates "gp/solve".
 class ScopedStage {
  public:
-  ScopedStage(StageTimes& st, std::string stage) : st_(st), stage_(std::move(stage)) {}
-  ~ScopedStage() { st_.add(stage_, timer_.seconds()); }
+  ScopedStage(StageTimes& st, std::string stage)
+      : st_(st), path_(st.compose(stage)) {
+    st_.open_.push_back(std::move(stage));
+  }
+  ~ScopedStage() {
+    st_.open_.pop_back();
+    st_.add(path_, timer_.seconds());
+  }
   ScopedStage(const ScopedStage&) = delete;
   ScopedStage& operator=(const ScopedStage&) = delete;
 
  private:
   StageTimes& st_;
-  std::string stage_;
+  std::string path_;
   Timer timer_;
 };
 

@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 
 #include "core/cli.hpp"
 #include "db/bookshelf.hpp"
 #include "gen/generator.hpp"
+#include "util/json.hpp"
 #include "util/logger.hpp"
 
 namespace rp {
@@ -85,6 +89,62 @@ TEST(Cli, FlowOptionsMapping) {
 
   c.mode = "routability";
   EXPECT_TRUE(cli_flow_options(c).gp.routability.enable);
+}
+
+TEST(Cli, ParsesTelemetryOutputFlags) {
+  const CliConfig c = parse_cli_args(
+      {"--report-json", "r.json", "--trace-json", "t.json"});
+  EXPECT_EQ(c.report_json, "r.json");
+  EXPECT_EQ(c.trace_json, "t.json");
+  EXPECT_THROW(parse_cli_args({"--report-json"}), std::runtime_error);
+  EXPECT_THROW(parse_cli_args({"--trace-json"}), std::runtime_error);
+  EXPECT_NE(cli_usage().find("--report-json"), std::string::npos);
+  EXPECT_NE(cli_usage().find("--trace-json"), std::string::npos);
+}
+
+TEST(Cli, EndToEndEmitsReportAndTrace) {
+  Logger::set_level(LogLevel::Error);
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "rp_cli_telemetry";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path report = dir / "run.report.json";
+  const fs::path trace = dir / "run.trace.json";
+  CliConfig c = parse_cli_args(
+      {"--gen", "300", "--seed", "5", "--rounds", "1",
+       "--out", (dir / "gen.pl").string(),
+       "--report-json", report.string(), "--trace-json", trace.string()});
+  EXPECT_EQ(run_cli(c), 0);
+
+  const auto slurp = [](const fs::path& p) {
+    std::ifstream in(p);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+
+  // Report: schema-valid and self-consistent.
+  const JsonValue rep = json_parse(slurp(report));
+  EXPECT_EQ(rep.at("schema_version").num, 1.0);
+  EXPECT_EQ(rep.at("design").at("name").str, "gen300");
+  EXPECT_GT(rep.at("eval").at("hpwl").num, 0.0);
+  EXPECT_GE(rep.at("eval").at("scaled_hpwl").num, rep.at("eval").at("hpwl").num);
+  EXPECT_TRUE(rep.at("eval").at("legality").at("ok").b);
+  EXPECT_GT(rep.at("counters").at("gp.outer_iters").num, 0.0);
+  EXPECT_GT(rep.at("stage_total_sec").num, 0.0);
+
+  // Trace: loadable event buffer with spans for every flow stage.
+  const JsonValue tr = json_parse(slurp(trace));
+  std::set<std::string> names;
+  for (const JsonValue& e : tr.at("traceEvents").arr) {
+    EXPECT_EQ(e.at("ph").str, "X");
+    names.insert(e.at("name").str);
+  }
+  for (const char* stage :
+       {"flow", "global", "macro_legal", "legal", "detailed", "eval",
+        "gp/level0", "gp/routability/round1"})
+    EXPECT_TRUE(names.count(stage)) << "missing span '" << stage << "'";
+  fs::remove_all(dir);
 }
 
 TEST(Cli, EndToEndOnBookshelfInput) {

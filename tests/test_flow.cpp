@@ -7,9 +7,12 @@
 #include <filesystem>
 
 #include "core/flow.hpp"
+#include "core/run_report.hpp"
 #include "db/bookshelf.hpp"
 #include "gen/generator.hpp"
+#include "util/json.hpp"
 #include "util/logger.hpp"
+#include "util/telemetry.hpp"
 
 namespace rp {
 namespace {
@@ -139,6 +142,56 @@ TEST_F(FlowTest, BookshelfRoundTripThroughFlow) {
   read_pl_into(d0, dir / "flowtest.out.pl");
   EXPECT_NEAR(d0.hpwl(), d.hpwl(), 1e-6 * d.hpwl());
   fs::remove_all(dir);
+}
+
+TEST_F(FlowTest, RunReportMatchesEvaluation) {
+  Design d = generate_benchmark(tiny_spec(70));
+  PlacementFlow flow(routability_driven_options());
+  const FlowResult r = flow.run(d);
+
+  const RunReportMeta meta = make_report_meta(d, "generated", "routability", 70);
+  const JsonValue doc =
+      json_parse(run_report_json(meta, flow.options(), r, /*indent=*/2));
+
+  // The report's metrics are the same numbers evaluate_placement produced.
+  EXPECT_DOUBLE_EQ(doc.at("eval").at("hpwl").num, r.eval.hpwl);
+  EXPECT_DOUBLE_EQ(doc.at("eval").at("scaled_hpwl").num, r.eval.scaled_hpwl);
+  EXPECT_DOUBLE_EQ(doc.at("eval").at("congestion").at("rc").num, r.eval.congestion.rc);
+  EXPECT_EQ(doc.at("eval").at("legality").at("ok").b, r.eval.legality.ok());
+
+  // Provenance & shape.
+  EXPECT_EQ(doc.at("mode").str, "routability");
+  EXPECT_EQ(doc.at("design").at("name").str, d.name());
+  EXPECT_DOUBLE_EQ(doc.at("design").at("cells").num, d.num_cells());
+  EXPECT_EQ(doc.at("gp_trace").arr.size(), r.gp_trace.size());
+  EXPECT_DOUBLE_EQ(doc.at("gp").at("final_hpwl").num, r.gp.final_hpwl);
+
+  // Stage times carry the nested GP breakdown.
+  EXPECT_TRUE(doc.at("stage_times").has("global"));
+  EXPECT_TRUE(doc.at("stage_times").has("global/level0"));
+
+  // The flow populated the counter registry; the report snapshots it.
+  EXPECT_GT(doc.at("counters").at("gp.outer_iters").num, 0.0);
+  EXPECT_GT(doc.at("counters").at("solver.cg_iters").num, 0.0);
+  EXPECT_GT(doc.at("counters").at("legal.cells").num, 0.0);
+  EXPECT_GT(doc.at("peak_rss_kb").num, 0.0);
+}
+
+TEST_F(FlowTest, CounterRegistryResetsBetweenRuns) {
+  BenchmarkSpec spec = tiny_spec(71);
+  Design a = generate_benchmark(spec);
+  PlacementFlow fa;
+  fa.run(a);
+  const auto& reg = telemetry::Registry::instance();
+  const std::int64_t outers_a = reg.counter_value("gp.outer_iters");
+  ASSERT_GT(outers_a, 0);
+
+  Design b = generate_benchmark(spec);
+  PlacementFlow fb;
+  fb.run(b);
+  // Same design, fresh registry: the second run's count matches the first
+  // instead of doubling (the flow resets counters at entry).
+  EXPECT_EQ(reg.counter_value("gp.outer_iters"), outers_a);
 }
 
 TEST_F(FlowTest, GpTraceExposedInResult) {

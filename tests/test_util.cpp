@@ -1,13 +1,17 @@
 // Unit & property tests for the util substrate: geometry, RNG, grids,
-// prefix sums, strings, timers.
+// prefix sums, strings, timers, JSON, logging.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <set>
 
 #include "util/geometry.hpp"
 #include "util/grid.hpp"
+#include "util/json.hpp"
+#include "util/logger.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
 #include "util/timer.hpp"
@@ -270,6 +274,102 @@ TEST(Str, CommonPrefixDepth) {
   EXPECT_EQ(common_prefix_depth("x/c", "y/c"), 0);
 }
 
+// ---------------- json ----------------
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string_view("nul\x01", 4)), "nul\\u0001");
+}
+
+TEST(Json, WriterProducesWellFormedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "de\"sign\n");
+  w.kv("count", 42);
+  w.kv("ratio", 0.125);
+  w.kv("flag", true);
+  w.key("none").null();
+  w.key("list").begin_array().value(1).value(2).value(3).end_array();
+  w.key("nested").begin_object().kv("x", -7).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"de\\\"sign\\n\",\"count\":42,\"ratio\":0.125,\"flag\":true,"
+            "\"none\":null,\"list\":[1,2,3],\"nested\":{\"x\":-7}}");
+}
+
+TEST(Json, WriterRoundTripsThroughParser) {
+  JsonWriter w(2);  // pretty-printing must not change the parsed value
+  w.begin_object();
+  w.kv("str", "line1\nline2\t\"quoted\" \\ done");
+  w.kv("big", 6.02214076e23);
+  w.kv("tiny", -1.5e-300);
+  w.kv("neg", std::int64_t{-9007199254740993});
+  w.key("arr").begin_array().value(false).null().value("x").end_array();
+  w.end_object();
+
+  const JsonValue v = json_parse(w.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("str").str, "line1\nline2\t\"quoted\" \\ done");
+  EXPECT_DOUBLE_EQ(v.at("big").num, 6.02214076e23);
+  EXPECT_DOUBLE_EQ(v.at("tiny").num, -1.5e-300);
+  EXPECT_DOUBLE_EQ(v.at("neg").num, -9007199254740993.0);
+  ASSERT_EQ(v.at("arr").arr.size(), 3u);
+  EXPECT_EQ(v.at("arr").arr[0].kind, JsonValue::Kind::Bool);
+  EXPECT_TRUE(v.at("arr").arr[1].is_null());
+  EXPECT_EQ(v.at("arr").arr[2].str, "x");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  const JsonValue v = json_parse(w.str());
+  ASSERT_EQ(v.arr.size(), 2u);
+  EXPECT_TRUE(v.arr[0].is_null());
+  EXPECT_TRUE(v.arr[1].is_null());
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(json_parse("{"), std::runtime_error);
+  EXPECT_THROW(json_parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(json_parse("[1,2] trailing"), std::runtime_error);
+  EXPECT_THROW(json_parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json_parse("nul"), std::runtime_error);
+}
+
+TEST(Json, ParserHandlesUnicodeEscapes) {
+  const JsonValue v = json_parse("\"a\\u00e9\\u0041\"");
+  EXPECT_EQ(v.str, "a\xc3\xa9"  "A");
+}
+
+// ---------------- logger ----------------
+
+TEST(Logger, EnvVarOverridesSetLevel) {
+  const LogLevel before = Logger::level();
+  setenv("RP_LOG_LEVEL", "error", 1);
+  Logger::init_from_env();
+  EXPECT_EQ(Logger::level(), LogLevel::Error);
+  Logger::set_level(LogLevel::Debug);  // ignored while the override is active
+  EXPECT_EQ(Logger::level(), LogLevel::Error);
+  unsetenv("RP_LOG_LEVEL");
+  Logger::init_from_env();
+  Logger::set_level(before);  // override released: programmatic control again
+  EXPECT_EQ(Logger::level(), before);
+}
+
+TEST(Logger, EnvVarAcceptsNumericLevels) {
+  setenv("RP_LOG_LEVEL", "4", 1);
+  Logger::init_from_env();
+  EXPECT_EQ(Logger::level(), LogLevel::Silent);
+  unsetenv("RP_LOG_LEVEL");
+  Logger::init_from_env();
+  Logger::set_level(LogLevel::Error);  // quiet for the rest of the suite
+}
+
 // ---------------- timer ----------------
 
 TEST(StageTimes, AccumulatesByName) {
@@ -282,6 +382,70 @@ TEST(StageTimes, AccumulatesByName) {
   EXPECT_DOUBLE_EQ(st.get("missing"), 0.0);
   EXPECT_DOUBLE_EQ(st.total(), 2.5);
   EXPECT_NE(st.report().find("gp"), std::string::npos);
+}
+
+TEST(StageTimes, NestedScopedStagesComposePaths) {
+  StageTimes st;
+  {
+    ScopedStage outer(st, "gp");
+    {
+      ScopedStage inner(st, "level2");
+      ScopedStage leaf(st, "solve");
+    }
+  }
+  EXPECT_GT(st.get("gp"), 0.0);
+  EXPECT_GT(st.get("gp/level2"), 0.0);
+  EXPECT_GT(st.get("gp/level2/solve"), 0.0);
+  EXPECT_DOUBLE_EQ(st.get("level2"), 0.0);  // only the full path is recorded
+  // Children are inside their parents: the roots-only total is the gp time.
+  EXPECT_DOUBLE_EQ(st.total(), st.get("gp"));
+  EXPECT_GE(st.get("gp"), st.get("gp/level2"));
+}
+
+TEST(StageTimes, TreeReportIndentsChildren) {
+  StageTimes st;
+  st.add("gp", 2.0);
+  st.add("gp/level1", 1.5);
+  st.add("gp/level1/solve", 1.0);
+  st.add("legal", 0.5);
+  const std::string rep = st.report();
+  EXPECT_NE(rep.find("gp"), std::string::npos);
+  EXPECT_NE(rep.find("\n  level1"), std::string::npos);
+  EXPECT_NE(rep.find("\n    solve"), std::string::npos);
+  EXPECT_NE(rep.find("total"), std::string::npos);
+  // Flat total counts roots only — no double counting of nested time.
+  EXPECT_DOUBLE_EQ(st.total(), 2.5);
+}
+
+TEST(StageTimes, ImplicitParentSumsChildren) {
+  StageTimes st;
+  st.add("gp/levelA", 1.0);  // no explicit "gp" entry
+  st.add("gp/levelB", 2.0);
+  const std::string rep = st.report();
+  EXPECT_NE(rep.find("gp"), std::string::npos);
+  EXPECT_NE(rep.find("3.00s"), std::string::npos);  // synthesized parent sum
+}
+
+TEST(StageTimes, MergeSplicesUnderPrefix) {
+  StageTimes inner;
+  inner.add("clustering", 0.25);
+  inner.add("level0", 1.0);
+  StageTimes outer;
+  outer.add("global", 1.5);
+  outer.merge("global", inner);
+  EXPECT_DOUBLE_EQ(outer.get("global/clustering"), 0.25);
+  EXPECT_DOUBLE_EQ(outer.get("global/level0"), 1.0);
+  EXPECT_DOUBLE_EQ(outer.total(), 1.5);
+}
+
+TEST(StageTimes, FlatReportKeepsLegacyShape) {
+  StageTimes st;
+  st.add("gp", 1.5);
+  st.add("gp/level0", 1.0);
+  const std::string flat = st.report_flat();
+  EXPECT_NE(flat.find("gp=1.50s"), std::string::npos);
+  EXPECT_EQ(flat.find("level0"), std::string::npos);
+  EXPECT_NE(flat.find("total=1.50s"), std::string::npos);
 }
 
 TEST(Timer, MeasuresNonNegative) {
