@@ -1,26 +1,57 @@
 #!/usr/bin/env python3
 """Telemetry contract check for the routplace binary.
 
-Runs `routplace --gen ... --report-json ... --trace-json ...` on a small
-generated design and validates:
+Runs `routplace --gen ... --report-json ... --trace-json ... --snapshot-dir`
+on a small generated design and validates:
   * the run report against the schema documented in DESIGN.md
     ("Observability"), including cross-checks between the report and the
-    summary the binary printed;
+    summary the binary printed; any NaN/Inf anywhere in the report is an
+    error (the C++ JSON writer must emit null for non-finite values, and no
+    metric is allowed to be null);
   * the trace file as a loadable Chrome trace-event document with spans for
-    every flow stage, each multilevel level, and each routability round.
+    every flow stage, each multilevel level, and each routability round;
+  * the snapshot directory: manifest schema, grid-file sizes matching the
+    declared dimensions, and the convergence history schema.
 
 Usage: check_report.py /path/to/routplace [--keep]
 Exit code 0 on success; prints every failed expectation otherwise.
 """
 
 import json
+import math
 import re
+import struct
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
 
 FAILURES = []
+
+
+def load_json_strict(path, what):
+    """json.loads that rejects NaN/Infinity literals instead of accepting
+    them (Python's default is more lenient than the JSON spec)."""
+    def bad_constant(name):
+        FAILURES.append(f"{what}: non-finite constant '{name}' in JSON")
+        return 0.0
+    try:
+        return json.loads(Path(path).read_text(), parse_constant=bad_constant)
+    except json.JSONDecodeError as e:
+        FAILURES.append(f"{what}: not valid JSON: {e}")
+        return None
+
+
+def check_finite(obj, where):
+    """Recursively fail on NaN/Inf floats anywhere in a parsed document."""
+    if isinstance(obj, float):
+        check(math.isfinite(obj), f"{where}: non-finite value {obj!r}")
+    elif isinstance(obj, dict):
+        for k, v in obj.items():
+            check_finite(v, f"{where}.{k}")
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            check_finite(v, f"{where}[{i}]")
 
 
 def check(cond, what):
@@ -36,15 +67,24 @@ def expect_keys(obj, keys, where):
 
 def validate_report(report, stdout_text):
     expect_keys(report, [
-        "schema_version", "tool", "design", "mode", "options", "eval", "gp",
-        "gp_trace", "macro_legal", "legal", "dp", "stage_times",
-        "stage_total_sec", "counters", "gauges", "peak_rss_kb",
+        "schema_version", "tool", "build", "design", "mode", "options", "eval",
+        "gp", "gp_trace", "macro_legal", "legal", "dp", "stage_times",
+        "stage_total_sec", "counters", "gauges", "peak_rss_kb", "snapshot_dir",
     ], "report")
     if FAILURES:
         return
 
     check(report["schema_version"] == 1, "report: schema_version != 1")
     check(report["tool"] == "routplace", "report: tool != routplace")
+    check_finite(report, "report")
+
+    build = report["build"]
+    expect_keys(build, ["git_describe", "compiler", "build_type", "flags",
+                        "cxx_standard"], "report.build")
+    check(bool(build.get("git_describe")), "report.build.git_describe empty")
+    check(bool(build.get("compiler")), "report.build.compiler empty")
+    check(build.get("cxx_standard", 0) >= 202002,
+          "report.build.cxx_standard is not C++20 or later")
 
     design = report["design"]
     expect_keys(design, ["name", "source", "seed", "cells", "nets", "macros",
@@ -120,6 +160,78 @@ def validate_trace(trace, gp_levels, rounds):
               f"trace: missing span 'gp/routability/round{rnd}'")
 
 
+def validate_snapshots(snap_dir, rounds_ran):
+    manifest = load_json_strict(snap_dir / "manifest.json", "manifest")
+    if manifest is None:
+        return
+    expect_keys(manifest, ["schema_version", "tool", "convergence",
+                           "num_points", "num_rounds", "maps"], "manifest")
+    if FAILURES:
+        return
+    check(manifest["schema_version"] == 1, "manifest: schema_version != 1")
+    check(manifest["tool"] == "routplace-snapshot",
+          "manifest: tool != routplace-snapshot")
+    check_finite(manifest, "manifest")
+
+    maps = manifest["maps"]
+    check(len(maps) > 0, "manifest: no maps captured")
+    names_by_stage = {}
+    for i, m in enumerate(maps):
+        expect_keys(m, ["seq", "stage", "name", "grid", "nx", "ny", "min",
+                        "max", "mean", "non_finite"], f"manifest.maps[{i}]")
+        if FAILURES:
+            return
+        check(m["non_finite"] == 0,
+              f"manifest.maps[{i}] ({m['stage']}/{m['name']}): "
+              f"{m['non_finite']} non-finite grid cells")
+        grid_path = snap_dir / m["grid"]
+        if check(grid_path.exists(), f"manifest: grid file '{m['grid']}' missing"):
+            raw = grid_path.read_bytes()
+            check(raw[:4] == b"RPG1", f"{m['grid']}: bad magic")
+            nx, ny = struct.unpack_from("<II", raw, 4)
+            check((nx, ny) == (m["nx"], m["ny"]),
+                  f"{m['grid']}: dims {nx}x{ny} != manifest {m['nx']}x{m['ny']}")
+            check(len(raw) == 12 + 8 * nx * ny, f"{m['grid']}: truncated payload")
+            vals = struct.unpack_from(f"<{nx * ny}d", raw, 12)
+            check(all(math.isfinite(v) for v in vals),
+                  f"{m['grid']}: non-finite cell values")
+        if "ppm" in m:
+            check((snap_dir / m["ppm"]).exists(),
+                  f"manifest: ppm file '{m['ppm']}' missing")
+        names_by_stage.setdefault(m["stage"], set()).add(m["name"])
+
+    # Acceptance contract: density/overflow/inflation per routability round.
+    for rnd in range(1, rounds_ran + 1):
+        for name in ("density", "overflow", "inflation", "congestion",
+                     "demand", "capacity"):
+            check(name in names_by_stage.get(f"round{rnd}", set()),
+                  f"manifest: round{rnd} missing '{name}' map")
+    for name in ("demand", "capacity", "overflow", "congestion", "displacement"):
+        check(name in names_by_stage.get("final", set()),
+              f"manifest: final stage missing '{name}' map")
+
+    conv = load_json_strict(snap_dir / manifest["convergence"], "convergence")
+    if conv is None:
+        return
+    expect_keys(conv, ["schema_version", "points", "rounds"], "convergence")
+    if FAILURES:
+        return
+    check_finite(conv, "convergence")
+    points = conv["points"]
+    check(len(points) == manifest["num_points"],
+          "convergence: point count != manifest.num_points")
+    check(len(points) > 0, "convergence: no points")
+    for pt in points[:3]:
+        expect_keys(pt, ["level", "round", "outer", "hpwl", "overflow",
+                         "lambda", "gamma", "inflation"], "convergence.points[i]")
+    check(len(conv["rounds"]) == manifest["num_rounds"],
+          "convergence: round count != manifest.num_rounds")
+    for r in conv["rounds"][:3]:
+        expect_keys(r, ["round", "rc", "ace_005", "ace_1", "ace_2", "ace_5",
+                        "total_overflow", "cells_inflated", "mean_inflation"],
+                    "convergence.rounds[i]")
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__)
@@ -134,10 +246,12 @@ def main():
         tmp = Path(tmp)
         report_path = tmp / "run.report.json"
         trace_path = tmp / "run.trace.json"
+        snap_dir = tmp / "snapshots"
         cmd = [str(binary), "--gen", "600", "--seed", "7", "--rounds",
                str(rounds), "--out", str(tmp / "out.pl"),
                "--report-json", str(report_path),
-               "--trace-json", str(trace_path)]
+               "--trace-json", str(trace_path),
+               "--snapshot-dir", str(snap_dir)]
         proc = subprocess.run(cmd, capture_output=True, text=True, timeout=280)
         if not check(proc.returncode == 0,
                      f"routplace exited {proc.returncode}:\n{proc.stderr[-2000:]}"):
@@ -148,21 +262,18 @@ def main():
             print("\n".join(FAILURES))
             return 1
 
-        try:
-            report = json.loads(report_path.read_text())
-        except json.JSONDecodeError as e:
-            print(f"report is not valid JSON: {e}")
-            return 1
-        try:
-            trace = json.loads(trace_path.read_text())
-        except json.JSONDecodeError as e:
-            print(f"trace is not valid JSON: {e}")
+        report = load_json_strict(report_path, "report")
+        trace = load_json_strict(trace_path, "trace")
+        if report is None or trace is None:
+            print("\n".join(FAILURES))
             return 1
 
         validate_report(report, proc.stdout)
         # Inflation may converge early; only require the rounds that ran.
         ran_rounds = min(rounds, report.get("gp", {}).get("inflation_rounds", 0))
         validate_trace(trace, report.get("gp", {}).get("levels", 0), ran_rounds)
+        if check(snap_dir.is_dir(), "snapshot dir not created"):
+            validate_snapshots(snap_dir, ran_rounds)
 
     if FAILURES:
         print("check_report: FAILED")

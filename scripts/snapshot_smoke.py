@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the spatial-observability toolchain.
+
+1. Runs the flow on a small generated design with --snapshot-dir and
+   --report-json.
+2. Renders the HTML dashboard with scripts/render_report.py and sanity-checks
+   its content (embedded heatmaps, convergence section).
+3. Runs rp_report_diff on the report/snapshots against themselves and demands
+   a zero-diff, zero-exit result.
+4. Injects a metric regression into a copy of the report and demands
+   rp_report_diff exits non-zero.
+
+Usage: snapshot_smoke.py <routplace> <rp_report_diff> <render_report.py>
+Exit code 0 on success.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+FAILURES = []
+
+
+def check(cond, what):
+    if not cond:
+        FAILURES.append(what)
+    return cond
+
+
+def run(cmd, what, timeout=280):
+    proc = subprocess.run([str(c) for c in cmd], capture_output=True, text=True,
+                          timeout=timeout)
+    return proc if check(proc.returncode == 0,
+                         f"{what} exited {proc.returncode}:\n{proc.stderr[-2000:]}") \
+        else None
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__)
+        return 2
+    routplace, report_diff, render = map(Path, sys.argv[1:4])
+    for p in (routplace, report_diff, render):
+        if not p.exists():
+            print(f"snapshot_smoke: '{p}' not found")
+            return 2
+
+    with tempfile.TemporaryDirectory(prefix="rp_snapshot_smoke_") as tmp:
+        tmp = Path(tmp)
+        report = tmp / "run.report.json"
+        snap = tmp / "snapshots"
+        if run([routplace, "--gen", "500", "--seed", "3", "--rounds", "2",
+                "--out", tmp / "out.pl", "--report-json", report,
+                "--snapshot-dir", snap], "routplace") is None:
+            print("\n".join(FAILURES))
+            return 1
+        check(report.exists(), "report not written")
+        check((snap / "manifest.json").exists(), "snapshot manifest not written")
+        check((snap / "convergence.json").exists(), "convergence history not written")
+
+        # Render the dashboard and check it actually embeds the artifacts.
+        html_out = tmp / "run.html"
+        if run([sys.executable, render, report, "--snapshots", snap,
+                "-o", html_out], "render_report.py") is not None:
+            text = html_out.read_text() if html_out.exists() else ""
+            check("<html" in text, "dashboard: not HTML")
+            check(text.count("data:image/png") >= 5,
+                  "dashboard: fewer than 5 embedded heatmaps")
+            check("Convergence" in text, "dashboard: no convergence section")
+            check("Stage times" in text, "dashboard: no stage-time section")
+
+        # Self-diff must be exactly clean.
+        proc = subprocess.run(
+            [str(report_diff), str(report), str(report),
+             "--snapshots", str(snap), str(snap)],
+            capture_output=True, text=True, timeout=120)
+        check(proc.returncode == 0,
+              f"self-diff exited {proc.returncode}:\n{proc.stdout[-2000:]}")
+        check("identical" in proc.stdout, "self-diff did not report 'identical'")
+
+        # An injected regression must be caught with a non-zero exit.
+        doc = json.loads(report.read_text())
+        doc["eval"]["hpwl"] *= 1.10
+        doc["eval"]["congestion"]["rc"] += 5.0
+        bad = tmp / "regressed.report.json"
+        bad.write_text(json.dumps(doc))
+        proc = subprocess.run([str(report_diff), str(report), str(bad)],
+                              capture_output=True, text=True, timeout=120)
+        check(proc.returncode == 1,
+              f"regression diff exited {proc.returncode} (want 1)")
+        check("eval.hpwl" in proc.stdout, "regression diff did not name eval.hpwl")
+        # ... and must be silenced by an adequate tolerance.
+        proc = subprocess.run([str(report_diff), str(report), str(bad),
+                               "--rel-tol", "0.2", "--abs-tol", "10"],
+                              capture_output=True, text=True, timeout=120)
+        check(proc.returncode == 0,
+              f"tolerant diff exited {proc.returncode} (want 0)")
+
+    if FAILURES:
+        print("snapshot_smoke: FAILED")
+        for f in FAILURES:
+            print(f"  - {f}")
+        return 1
+    print("snapshot_smoke: OK (capture -> render -> self-diff -> regression gate)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

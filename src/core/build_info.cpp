@@ -1,0 +1,26 @@
+#include "core/build_info.hpp"
+
+// The definitions come from set_source_files_properties in CMakeLists.txt;
+// the fallbacks keep non-CMake builds (and IDE tooling) compiling.
+#ifndef RP_GIT_DESCRIBE
+#define RP_GIT_DESCRIBE "unknown"
+#endif
+#ifndef RP_COMPILER
+#define RP_COMPILER "unknown"
+#endif
+#ifndef RP_BUILD_TYPE
+#define RP_BUILD_TYPE "unknown"
+#endif
+#ifndef RP_CXX_FLAGS
+#define RP_CXX_FLAGS ""
+#endif
+
+namespace rp {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{RP_GIT_DESCRIBE, RP_COMPILER, RP_BUILD_TYPE,
+                              RP_CXX_FLAGS, __cplusplus};
+  return info;
+}
+
+}  // namespace rp

@@ -1,0 +1,22 @@
+#pragma once
+// Build/version provenance stamped into every run report, so a report (and a
+// rp_report_diff between two reports) identifies the binary that produced
+// it. Values are injected by src/core/CMakeLists.txt at configure time;
+// builds outside git fall back to "unknown".
+
+#include <string>
+
+namespace rp {
+
+struct BuildInfo {
+  std::string git_describe;  ///< `git describe --always --dirty --tags`.
+  std::string compiler;      ///< e.g. "GNU 12.2.0".
+  std::string build_type;    ///< CMAKE_BUILD_TYPE.
+  std::string flags;         ///< Effective CXX flags for that build type.
+  long cxx_standard = 0;     ///< __cplusplus of the build.
+};
+
+/// The process's immutable build stamp.
+const BuildInfo& build_info();
+
+}  // namespace rp

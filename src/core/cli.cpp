@@ -36,6 +36,12 @@ std::string cli_usage() {
       "  --map                   print the routed-congestion ASCII map\n"
       "  --report-json <file>    write a structured JSON run report\n"
       "  --trace-json <file>     write a chrome://tracing / Perfetto flow trace\n"
+      "  --snapshot-dir <dir>    capture spatial snapshots: density/congestion/\n"
+      "                          inflation/displacement heatmaps per routability\n"
+      "                          round + convergence history (see DESIGN.md)\n"
+      "  --snapshot-every <n>    also capture a density map every n finest-level\n"
+      "                          GP iterations (0 = off, default)\n"
+      "  --snapshot-svg          render .svg heatmaps next to the .ppm files\n"
       "  --verbose               per-iteration placer logging\n"
       "  --help                  this text\n"
       "\n"
@@ -64,6 +70,10 @@ CliConfig parse_cli_args(const std::vector<std::string>& args) {
     else if (a == "--skip-dp") cfg.skip_dp = true;
     else if (a == "--report-json") cfg.report_json = need_value(i++, a);
     else if (a == "--trace-json") cfg.trace_json = need_value(i++, a);
+    else if (a == "--snapshot-dir") cfg.snapshot_dir = need_value(i++, a);
+    else if (a == "--snapshot-every")
+      cfg.snapshot_every = static_cast<int>(to_long(need_value(i++, a)));
+    else if (a == "--snapshot-svg") cfg.snapshot_svg = true;
     else if (a == "--map") cfg.show_map = true;
     else if (a == "--verbose") cfg.verbose = true;
     else if (a == "--help" || a == "-h") cfg.help = true;
@@ -77,6 +87,10 @@ CliConfig parse_cli_args(const std::vector<std::string>& args) {
     throw std::runtime_error("--density must be in (0, 1]");
   if (cfg.routability_rounds < 0)
     throw std::runtime_error("--rounds must be >= 0");
+  if (cfg.snapshot_every < 0)
+    throw std::runtime_error("--snapshot-every must be >= 0");
+  if ((cfg.snapshot_every > 0 || cfg.snapshot_svg) && cfg.snapshot_dir.empty())
+    throw std::runtime_error("--snapshot-every/--snapshot-svg need --snapshot-dir");
   return cfg;
 }
 
@@ -88,6 +102,9 @@ FlowOptions cli_flow_options(const CliConfig& cfg) {
   opt.gp.routability.rounds = cfg.routability_rounds;
   opt.gp.verbose = cfg.verbose;
   opt.skip_dp = cfg.skip_dp;
+  opt.snapshot.dir = cfg.snapshot_dir;
+  opt.snapshot.density_every = cfg.snapshot_every;
+  opt.snapshot.render_svg = cfg.snapshot_svg;
   return opt;
 }
 
@@ -143,6 +160,8 @@ int run_cli(const CliConfig& cfg) {
   std::printf("  legal        %s\n", r.eval.legality.ok() ? "yes" : "NO");
   std::printf("  runtime      %s\n", r.times.report_flat().c_str());
   std::printf("  solution     %s\n", out.c_str());
+  if (!r.snapshot_dir.empty())
+    std::printf("  snapshots    %s\n", r.snapshot_dir.c_str());
   std::printf("\nruntime breakdown:\n%s\n", r.times.report().c_str());
   if (cfg.show_map) {
     std::printf("\nrouted congestion ('#'>105%%, '+'>95%%, ':'>80%%, 'M' macro):\n%s",

@@ -31,6 +31,10 @@ struct CliConfig {
   // Telemetry outputs (empty: disabled):
   std::string report_json;   ///< Structured run report (see core/run_report.hpp).
   std::string trace_json;    ///< Chrome trace-event flow trace.
+  // Spatial snapshots (see core/snapshot.hpp):
+  std::string snapshot_dir;  ///< Heatmaps + convergence history directory.
+  int snapshot_every = 0;    ///< >0: finest-level density map every N outers.
+  bool snapshot_svg = false; ///< Also render SVG heatmaps.
 };
 
 /// Parse argv (excluding argv[0]). Throws std::runtime_error on unknown or

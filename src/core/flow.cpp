@@ -1,5 +1,6 @@
 #include "core/flow.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 #include "route/estimator.hpp"
@@ -29,13 +30,28 @@ FlowResult PlacementFlow::run(Design& d) {
   telemetry::Registry::instance().reset();
   RP_TRACE_SPAN("flow");
 
+  std::unique_ptr<SnapshotRecorder> snap;
+  if (!opt_.snapshot.dir.empty()) {
+    snap = std::make_unique<SnapshotRecorder>(opt_.snapshot);
+    if (!snap->ok()) snap.reset();  // unwritable dir: run without snapshots
+  }
+
   {
     ScopedStage t(r.times, "global");
     RP_TRACE_SPAN("global");
-    GlobalPlacer gp(opt_.gp);
+    GpOptions gpo = opt_.gp;
+    gpo.snapshot = snap.get();
+    GlobalPlacer gp(gpo);
     r.gp = gp.run(d);
     r.gp_trace = gp.trace();
     r.times.merge("global", gp.times());
+  }
+
+  // Positions at GP exit, for the final displacement map (GP → legal+DP).
+  std::vector<Point> gp_pos;
+  if (snap) {
+    gp_pos.reserve(static_cast<std::size_t>(d.num_cells()));
+    for (CellId c = 0; c < d.num_cells(); ++c) gp_pos.push_back(d.cell_center(c));
   }
 
   {
@@ -97,7 +113,20 @@ FlowResult PlacementFlow::run(Design& d) {
   if (!opt_.skip_eval) {
     ScopedStage t(r.times, "eval");
     RP_TRACE_SPAN("eval");
-    r.eval = evaluate_placement(d, opt_.eval);
+    if (snap) {
+      // Route on a grid we keep, so the ROUTED (not just estimated)
+      // congestion picture lands in the snapshot.
+      RoutingGrid eval_grid(d, /*include_movable_macros=*/true);
+      r.eval = evaluate_placement(d, opt_.eval, eval_grid);
+      snap->record_grid("final", "demand", eval_grid.tile_demand());
+      snap->record_grid("final", "capacity", eval_grid.tile_capacity());
+      snap->record_grid("final", "overflow", eval_grid.tile_overflow());
+      snap->record_grid("final", "congestion", eval_grid.tile_congestion());
+      snap->record_grid("final", "displacement",
+                        displacement_map(d, gp_pos, eval_grid.map()));
+    } else {
+      r.eval = evaluate_placement(d, opt_.eval);
+    }
     RP_GAUGE("eval.hpwl", r.eval.hpwl);
     RP_GAUGE("eval.scaled_hpwl", r.eval.scaled_hpwl);
     RP_GAUGE("eval.rc", r.eval.congestion.rc);
@@ -106,6 +135,10 @@ FlowResult PlacementFlow::run(Design& d) {
             r.eval.hpwl, r.eval.scaled_hpwl, r.eval.congestion.rc,
             r.eval.congestion.total_overflow, r.eval.congestion.overflowed_edges,
             r.eval.legality.ok() ? "yes" : "NO");
+  }
+  if (snap) {
+    snap->finalize();
+    r.snapshot_dir = snap->dir();
   }
   return r;
 }

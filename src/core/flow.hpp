@@ -17,6 +17,7 @@
 
 #include "core/global_placer.hpp"
 #include "core/report.hpp"
+#include "core/snapshot.hpp"
 #include "dp/detailed.hpp"
 #include "legal/legalizer.hpp"
 #include "legal/macro_legalizer.hpp"
@@ -35,6 +36,7 @@ struct FlowOptions {
   EvalOptions eval;
   bool skip_dp = false;
   bool skip_eval = false;
+  SnapshotOptions snapshot;  ///< snapshot.dir empty: spatial capture off.
 };
 
 /// The paper's configuration (all routability levers on).
@@ -50,6 +52,7 @@ struct FlowResult {
   EvalResult eval;
   StageTimes times;
   std::vector<GpTracePoint> gp_trace;
+  std::string snapshot_dir;  ///< Where snapshots landed (empty: disabled).
 };
 
 class PlacementFlow {

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include <memory>
 #include <string>
 
 #include "core/channels.hpp"
 #include "core/inflation.hpp"
+#include "core/snapshot.hpp"
 #include "route/estimator.hpp"
+#include "route/metrics.hpp"
 #include "solver/cg.hpp"
 #include "model/objective.hpp"
 #include "util/logger.hpp"
@@ -86,7 +89,8 @@ GlobalPlacer::LevelResult GlobalPlacer::place_level(PlaceProblem& prob,
   int outer = 0;
   for (; outer < max_outer; ++outer) {
     const double t = static_cast<double>(outer) / std::max(1, max_outer - 1);
-    wl.set_gamma(g0 * std::pow(g1 / g0, t));
+    const double gamma = g0 * std::pow(g1 / g0, t);
+    wl.set_gamma(gamma);
     obj.set_lambda(lambda);
 
     std::vector<double> z = obj.pack();
@@ -105,6 +109,24 @@ GlobalPlacer::LevelResult GlobalPlacer::place_level(PlaceProblem& prob,
     tp.lambda = lambda;
     tp.inflation = inflation_mean;
     trace_.push_back(tp);
+    if (opt_.snapshot != nullptr) {
+      ConvergencePoint cp;
+      cp.level = level_tag >= 0 ? level_tag : 0;
+      cp.round = level_tag < 0 ? -level_tag : 0;
+      cp.outer = outer;
+      cp.hpwl = tp.hpwl;
+      cp.overflow = ovfl;
+      cp.lambda = lambda;
+      cp.gamma = gamma;
+      cp.inflation = inflation_mean;
+      opt_.snapshot->record_point(cp);
+      const int every = opt_.snapshot->options().density_every;
+      if (every > 0 && level_tag == 0 && outer % every == 0) {
+        char nm[48];
+        std::snprintf(nm, sizeof nm, "density_o%03d", outer);
+        opt_.snapshot->record_grid("level0", nm, dens.rasterized_density(prob));
+      }
+    }
     if (opt_.verbose)
       RP_INFO("  gp L%d outer %2d: hpwl %.3e overflow %.3f lambda %.2e", level_tag, outer,
               tp.hpwl, ovfl, lambda);
@@ -184,22 +206,59 @@ GpStats GlobalPlacer::run(Design& d) {
         apply_solution(prob, d);
         RoutingGrid rg(d, /*include_movable_macros=*/true);
         estimate_probabilistic(d, rg);
+        const std::string stage = "round" + std::to_string(round + 1);
+        if (opt_.snapshot != nullptr) {
+          // The congestion picture this round's inflation decisions see.
+          opt_.snapshot->record_grid(stage, "demand", rg.tile_demand());
+          opt_.snapshot->record_grid(stage, "capacity", rg.tile_capacity());
+          opt_.snapshot->record_grid(stage, "overflow", rg.tile_overflow());
+          opt_.snapshot->record_grid(stage, "congestion", rg.tile_congestion());
+          opt_.snapshot->record_grid(stage, "density", dens.rasterized_density(prob));
+        }
         const InflationResult ir = apply_congestion_inflation(
             prob, rg, opt_.routability.inflate_rate, opt_.routability.max_inflate,
             opt_.routability.max_total_inflation);
         ++stats.inflation_rounds;
         RP_COUNT("gp.inflation_rounds", 1);
+        if (opt_.snapshot != nullptr) {
+          opt_.snapshot->record_grid(stage, "inflation",
+                                     inflation_map(prob, dens.grid()));
+          SnapshotRoundRecord rr;
+          rr.round = round + 1;
+          rr.congestion = congestion_metrics(rg);
+          rr.cells_inflated = ir.cells_inflated;
+          rr.mean_inflation = ir.mean_inflation;
+          opt_.snapshot->record_round(rr);
+        }
         if (ir.cells_inflated == 0) break;
         RP_INFO("gp routability round %d: %d cells inflated, mean %.3f", round + 1,
                 ir.cells_inflated, ir.mean_inflation);
         // Short re-spread with the inflated footprints, continuing from the
         // reached λ (a full cold escalation would be wasted work).
+        std::vector<double> x0, y0;
+        if (opt_.snapshot != nullptr) {
+          x0 = prob.x;
+          y0 = prob.y;
+        }
         const LevelResult rr = place_level(
             prob, dens, *wl, stop, /*level_tag=*/-(round + 1), ir.mean_inflation,
             /*wl_warm_start=*/false, /*lambda0=*/lambda_cont * 0.5, opt_.reheat_outer);
+        if (opt_.snapshot != nullptr)
+          opt_.snapshot->record_grid(stage, "displacement",
+                                     displacement_map(prob, x0, y0, dens.grid()));
         stats.total_outer += rr.outers;
         lambda_cont = rr.lambda;
       }
+    }
+
+    // End-of-level density picture (every level, both flow modes); the
+    // finest level also records the final inflation state.
+    if (opt_.snapshot != nullptr) {
+      opt_.snapshot->record_grid("level" + std::to_string(l), "density",
+                                 dens.rasterized_density(prob));
+      if (finest)
+        opt_.snapshot->record_grid("gp_final", "inflation",
+                                   inflation_map(prob, dens.grid()));
     }
 
     if (l > 0) ml.project_down(l);

@@ -28,6 +28,8 @@
 
 namespace rp {
 
+class SnapshotRecorder;
+
 struct RoutabilityOptions {
   bool enable = true;
   bool cell_inflation = true;
@@ -57,6 +59,9 @@ struct GpOptions {
   ClusterOptions cluster;
   RoutabilityOptions routability;
   bool verbose = false;
+  /// Non-owning spatial-snapshot sink (core/snapshot.hpp); nullptr disables
+  /// all capture at the cost of one pointer test per site.
+  SnapshotRecorder* snapshot = nullptr;
 };
 
 /// One record per outer iteration (Fig-5 convergence data).

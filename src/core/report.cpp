@@ -11,9 +11,14 @@
 namespace rp {
 
 EvalResult evaluate_placement(const Design& d, const EvalOptions& opt) {
+  RoutingGrid grid(d, /*include_movable_macros=*/true);
+  return evaluate_placement(d, opt, grid);
+}
+
+EvalResult evaluate_placement(const Design& d, const EvalOptions& opt,
+                              RoutingGrid& grid) {
   EvalResult r;
   r.hpwl = d.hpwl();
-  RoutingGrid grid(d, /*include_movable_macros=*/true);
   if (opt.run_router) {
     GlobalRouter router(grid, opt.router);
     r.route = router.route(d);

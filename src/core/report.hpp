@@ -32,6 +32,11 @@ struct EvalOptions {
 
 EvalResult evaluate_placement(const Design& d, const EvalOptions& opt = {});
 
+/// Same, but routes on the caller's grid (freshly built from `d`) so the
+/// routed usage/congestion maps survive for snapshot capture.
+EvalResult evaluate_placement(const Design& d, const EvalOptions& opt,
+                              RoutingGrid& grid);
+
 /// Render a congestion heat map as ASCII art (for Fig-6 style output).
 /// Characters: ' ' <50%, '.' <80%, ':' <95%, '+' <105%, '#' ≥105%, 'M' macro.
 std::string congestion_ascii(const Design& d, int max_cols = 64);

@@ -1,0 +1,67 @@
+#pragma once
+// Structural diff over run reports and snapshot directories — the engine
+// behind the `rp_report_diff` CLI and the snapshot regression tests.
+//
+// Two JSON documents are walked in lockstep; every leaf (number, string,
+// bool, null) is compared under a dotted path ("eval.congestion.rc",
+// "gp_trace[3].hpwl"). Numeric leaves match when
+//
+//     |a − b| <= abs_tol + rel_tol · max(|a|, |b|)
+//
+// so rel_tol/abs_tol = 0 demands exact equality. Volatile-by-nature keys
+// (wall-clock stage times, RSS, build stamp, absolute snapshot paths) are
+// ignored by default — the differ gates on *quality* metrics, not on how
+// long the run took or which binary ran it.
+//
+// Snapshot mode pairs the two manifests' maps by stage/name, compares grid
+// dimensions and per-cell values (same tolerance), and diffs the two
+// convergence histories as JSON.
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace rp {
+
+struct ReportDiffOptions {
+  double rel_tol = 0.0;
+  double abs_tol = 0.0;
+  std::vector<std::string> ignore;   ///< Extra path substrings to skip.
+  bool default_ignores = true;       ///< Apply the built-in volatile-key set.
+};
+
+/// Path substrings skipped when default_ignores is set.
+const std::vector<std::string>& report_diff_default_ignores();
+
+struct DiffEntry {
+  std::string path;
+  std::string a, b;     ///< Rendered values (or "<missing>").
+  double delta = 0.0;   ///< |a − b| for numeric leaves, else 0.
+};
+
+struct ReportDiffResult {
+  std::vector<DiffEntry> diffs;
+  int values_compared = 0;
+  bool error = false;        ///< I/O or parse failure (diffs unusable).
+  std::string error_msg;
+
+  bool clean() const { return !error && diffs.empty(); }
+  /// Human-readable table of the differences (or "identical"/error note).
+  std::string format(std::size_t max_lines = 200) const;
+};
+
+/// Diff two parsed JSON documents.
+ReportDiffResult diff_json_values(const JsonValue& a, const JsonValue& b,
+                                  const ReportDiffOptions& opt = {});
+
+/// Load and diff two run-report files.
+ReportDiffResult diff_report_files(const std::string& path_a, const std::string& path_b,
+                                   const ReportDiffOptions& opt = {});
+
+/// Diff two snapshot directories (manifest pairing + per-cell grid compare +
+/// convergence history).
+ReportDiffResult diff_snapshot_dirs(const std::string& dir_a, const std::string& dir_b,
+                                    const ReportDiffOptions& opt = {});
+
+}  // namespace rp

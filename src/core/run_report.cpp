@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "core/build_info.hpp"
 #include "util/json.hpp"
 #include "util/logger.hpp"
 #include "util/telemetry.hpp"
@@ -94,6 +95,15 @@ std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
   w.kv("schema_version", 1);
   w.kv("tool", "routplace");
 
+  const BuildInfo& bi = build_info();
+  w.key("build").begin_object();
+  w.kv("git_describe", bi.git_describe);
+  w.kv("compiler", bi.compiler);
+  w.kv("build_type", bi.build_type);
+  w.kv("flags", bi.flags);
+  w.kv("cxx_standard", static_cast<std::int64_t>(bi.cxx_standard));
+  w.end_object();
+
   w.key("design").begin_object();
   w.kv("name", meta.design);
   w.kv("source", meta.source);
@@ -170,6 +180,7 @@ std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
   w.end_object();
 
   w.kv("peak_rss_kb", static_cast<std::int64_t>(telemetry::peak_rss_kb()));
+  w.kv("snapshot_dir", r.snapshot_dir);
   w.end_object();
   return w.str();
 }

@@ -11,10 +11,11 @@
 // consumable by scripts/check_report.py and the BENCH_* trajectory tooling.
 //
 // Schema (stable keys; see DESIGN.md "Observability" for the full contract):
-//   schema_version, tool, design{...}, options{...}, eval{...}, gp{...},
+//   schema_version, tool, build{git_describe, compiler, build_type, flags,
+//   cxx_standard}, design{...}, options{...}, eval{...}, gp{...},
 //   gp_trace[...], macro_legal{...}, legal{...}, dp{...},
 //   stage_times{...}, stage_total_sec, counters{...}, gauges{...},
-//   peak_rss_kb
+//   peak_rss_kb, snapshot_dir
 
 #include <cstdint>
 #include <string>

@@ -125,4 +125,41 @@ Grid2D<double> RoutingGrid::tile_congestion() const {
   return g;
 }
 
+namespace {
+
+/// Shared walk for the tile_* maps: fn(tile_value_ref, edge_use, edge_cap)
+/// for every edge adjacent to the tile.
+template <typename Fn>
+Grid2D<double> tile_edge_fold(const RoutingGrid& g, Fn&& fn) {
+  Grid2D<double> out(g.nx(), g.ny(), 0.0);
+  for (int iy = 0; iy < g.ny(); ++iy) {
+    for (int ix = 0; ix < g.nx(); ++ix) {
+      double& v = out(ix, iy);
+      if (ix > 0) fn(v, g.h_use(ix - 1, iy), g.h_cap(ix - 1, iy));
+      if (ix + 1 < g.nx()) fn(v, g.h_use(ix, iy), g.h_cap(ix, iy));
+      if (iy > 0) fn(v, g.v_use(ix, iy - 1), g.v_cap(ix, iy - 1));
+      if (iy + 1 < g.ny()) fn(v, g.v_use(ix, iy), g.v_cap(ix, iy));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Grid2D<double> RoutingGrid::tile_demand() const {
+  return tile_edge_fold(*this,
+                        [](double& v, double use, double) { v += use; });
+}
+
+Grid2D<double> RoutingGrid::tile_capacity() const {
+  return tile_edge_fold(*this,
+                        [](double& v, double, double cap) { v += cap; });
+}
+
+Grid2D<double> RoutingGrid::tile_overflow() const {
+  return tile_edge_fold(*this, [](double& v, double use, double cap) {
+    v += std::max(0.0, use - cap);
+  });
+}
+
 }  // namespace rp

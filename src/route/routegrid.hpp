@@ -64,6 +64,13 @@ class RoutingGrid {
   /// edges' utilization); for congestion maps & cell inflation.
   Grid2D<double> tile_congestion() const;
 
+  // Per-tile spatial maps for snapshots/diagnostics: each tile aggregates
+  // its adjacent h/v edges (sum of tracks), so demand − capacity mirrors
+  // the per-edge overflow picture at tile resolution.
+  Grid2D<double> tile_demand() const;    ///< Σ adjacent-edge usage.
+  Grid2D<double> tile_capacity() const;  ///< Σ adjacent-edge capacity.
+  Grid2D<double> tile_overflow() const;  ///< Σ adjacent-edge (use − cap)⁺.
+
  private:
   void derate_under_rect(const Rect& r, double porosity);
 

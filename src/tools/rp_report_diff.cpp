@@ -1,0 +1,98 @@
+// rp_report_diff — compare two routplace run reports (and optionally two
+// snapshot directories) for CI regression gating.
+//
+//   rp_report_diff a.report.json b.report.json
+//       [--snapshots dirA dirB] [--rel-tol f] [--abs-tol f]
+//       [--ignore substr]... [--no-default-ignores] [--max-lines n]
+//
+// Exit codes: 0 = within tolerance, 1 = differences found, 2 = usage or
+// I/O/parse error. Volatile keys (stage times, RSS, build stamp, snapshot
+// paths) are ignored unless --no-default-ignores is given, so identical
+// placements from different machines/builds diff clean.
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/report_diff.hpp"
+#include "util/str.hpp"
+
+namespace {
+
+const char* kUsage =
+    "usage: rp_report_diff <a.report.json> <b.report.json> [options]\n"
+    "\n"
+    "options:\n"
+    "  --snapshots <dirA> <dirB>  also diff two snapshot directories\n"
+    "  --rel-tol <f>              relative tolerance per value (default 0)\n"
+    "  --abs-tol <f>              absolute tolerance per value (default 0)\n"
+    "  --ignore <substr>          skip paths containing <substr> (repeatable)\n"
+    "  --no-default-ignores       compare volatile keys (times, rss, build) too\n"
+    "  --max-lines <n>            cap printed differences (default 200)\n"
+    "\n"
+    "exit: 0 identical within tolerance, 1 differences, 2 error\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string report_a, report_b, snap_a, snap_b;
+  rp::ReportDiffOptions opt;
+  std::size_t max_lines = 200;
+
+  try {
+    const auto need = [&](std::size_t i, const std::string& o) {
+      if (i + 1 >= args.size())
+        throw std::runtime_error("option '" + o + "' needs a value");
+      return args[i + 1];
+    };
+    std::vector<std::string> positional;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a == "--snapshots") {
+        snap_a = need(i++, a);
+        snap_b = need(i++, "--snapshots");
+      } else if (a == "--rel-tol") {
+        opt.rel_tol = rp::to_double(need(i++, a));
+      } else if (a == "--abs-tol") {
+        opt.abs_tol = rp::to_double(need(i++, a));
+      } else if (a == "--ignore") {
+        opt.ignore.push_back(need(i++, a));
+      } else if (a == "--no-default-ignores") {
+        opt.default_ignores = false;
+      } else if (a == "--max-lines") {
+        max_lines = static_cast<std::size_t>(rp::to_long(need(i++, a)));
+      } else if (a == "--help" || a == "-h") {
+        std::fputs(kUsage, stdout);
+        return 0;
+      } else if (!a.empty() && a[0] == '-') {
+        throw std::runtime_error("unknown option '" + a + "'");
+      } else {
+        positional.push_back(a);
+      }
+    }
+    if (positional.size() != 2)
+      throw std::runtime_error("expected exactly two report files");
+    report_a = positional[0];
+    report_b = positional[1];
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rp_report_diff: %s\n\n%s", e.what(), kUsage);
+    return 2;
+  }
+
+  const rp::ReportDiffResult rep = rp::diff_report_files(report_a, report_b, opt);
+  std::printf("report diff (%s vs %s):\n  %s", report_a.c_str(), report_b.c_str(),
+              rep.format(max_lines).c_str());
+  if (rep.error) return 2;
+
+  bool snap_clean = true;
+  if (!snap_a.empty()) {
+    const rp::ReportDiffResult snp = rp::diff_snapshot_dirs(snap_a, snap_b, opt);
+    std::printf("snapshot diff (%s vs %s):\n  %s", snap_a.c_str(), snap_b.c_str(),
+                snp.format(max_lines).c_str());
+    if (snp.error) return 2;
+    snap_clean = snp.clean();
+  }
+  return rep.clean() && snap_clean ? 0 : 1;
+}

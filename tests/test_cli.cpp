@@ -102,6 +102,26 @@ TEST(Cli, ParsesTelemetryOutputFlags) {
   EXPECT_NE(cli_usage().find("--trace-json"), std::string::npos);
 }
 
+TEST(Cli, ParsesSnapshotFlags) {
+  const CliConfig c = parse_cli_args(
+      {"--snapshot-dir", "snaps", "--snapshot-every", "4", "--snapshot-svg"});
+  EXPECT_EQ(c.snapshot_dir, "snaps");
+  EXPECT_EQ(c.snapshot_every, 4);
+  EXPECT_TRUE(c.snapshot_svg);
+  const FlowOptions opt = cli_flow_options(c);
+  EXPECT_EQ(opt.snapshot.dir, "snaps");
+  EXPECT_EQ(opt.snapshot.density_every, 4);
+  EXPECT_TRUE(opt.snapshot.render_svg);
+  // Default: snapshots disabled.
+  EXPECT_TRUE(cli_flow_options(parse_cli_args({})).snapshot.dir.empty());
+  // Modifier flags without --snapshot-dir are configuration errors.
+  EXPECT_THROW(parse_cli_args({"--snapshot-every", "2"}), std::runtime_error);
+  EXPECT_THROW(parse_cli_args({"--snapshot-svg"}), std::runtime_error);
+  EXPECT_THROW(parse_cli_args({"--snapshot-dir", "d", "--snapshot-every", "-1"}),
+               std::runtime_error);
+  EXPECT_NE(cli_usage().find("--snapshot-dir"), std::string::npos);
+}
+
 TEST(Cli, EndToEndEmitsReportAndTrace) {
   Logger::set_level(LogLevel::Error);
   namespace fs = std::filesystem;
