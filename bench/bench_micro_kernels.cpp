@@ -2,17 +2,30 @@
 // evaluation, the probabilistic congestion estimator, the global router,
 // legalization, and the hierarchy-aware clustering pass. These back the
 // runtime-breakdown discussion and guard against performance regressions.
+//
+// The *Threads benchmarks sweep the pool size over 1/2/4/8 for each parallel
+// kernel, and a custom main() additionally emits machine-readable speedup
+// rows ({"schema":"kernel_speedup",...} JSONL) into $RP_BENCH_JSON so the
+// perf-trajectory tooling can track parallel scaling alongside flow metrics.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
 
 #include "cluster/multilevel.hpp"
 #include "gen/generator.hpp"
 #include "legal/legalizer.hpp"
 #include "legal/macro_legalizer.hpp"
 #include "model/density.hpp"
+#include "model/wirelength.hpp"
 #include "route/estimator.hpp"
 #include "route/router.hpp"
 #include "util/logger.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -125,6 +138,136 @@ void BM_ClusteringPass(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusteringPass)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------- threaded
+
+void BM_WirelengthEvalThreads(benchmark::State& state) {
+  using namespace rp;
+  parallel::set_num_threads(static_cast<int>(state.range(0)));
+  PlaceProblem p = make_problem(bench_design());
+  const auto wl = make_wirelength_model("WA", 4.0);
+  std::vector<double> gx(p.nodes.size()), gy(p.nodes.size());
+  for (auto _ : state) {
+    std::fill(gx.begin(), gx.end(), 0.0);
+    std::fill(gy.begin(), gy.end(), 0.0);
+    benchmark::DoNotOptimize(wl->eval(p, gx, gy));
+  }
+  state.SetItemsProcessed(state.iterations() * p.num_nets());
+  parallel::set_num_threads(1);
+}
+BENCHMARK(BM_WirelengthEvalThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DensityEvalThreads(benchmark::State& state) {
+  using namespace rp;
+  parallel::set_num_threads(static_cast<int>(state.range(0)));
+  PlaceProblem p = make_problem(bench_design());
+  DensityConfig cfg;
+  DensityModel dm(p, cfg);
+  std::vector<double> gx(p.nodes.size()), gy(p.nodes.size());
+  for (auto _ : state) {
+    std::fill(gx.begin(), gx.end(), 0.0);
+    std::fill(gy.begin(), gy.end(), 0.0);
+    benchmark::DoNotOptimize(dm.eval(p, gx, gy));
+  }
+  state.SetItemsProcessed(state.iterations() * p.num_nodes());
+  parallel::set_num_threads(1);
+}
+BENCHMARK(BM_DensityEvalThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ProbabilisticEstimateThreads(benchmark::State& state) {
+  using namespace rp;
+  parallel::set_num_threads(static_cast<int>(state.range(0)));
+  const Design& d = bench_design();
+  NetlistCsr csr = NetlistCsr::from_design(d);
+  RoutingGrid grid(d, true);
+  for (auto _ : state) {
+    estimate_probabilistic(d, csr, grid);
+    benchmark::DoNotOptimize(grid.total_overflow());
+  }
+  state.SetItemsProcessed(state.iterations() * d.num_nets());
+  parallel::set_num_threads(1);
+}
+BENCHMARK(BM_ProbabilisticEstimateThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ------------------------------------------------------- speedup JSONL rows
+
+/// Seconds per call, doubling the batch until the measurement is >= 50 ms.
+double time_kernel(const std::function<void()>& fn) {
+  fn();  // warm caches and lazy setup
+  for (int iters = 1;; iters *= 2) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const double sec = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    if (sec >= 0.05 || iters >= (1 << 22)) return sec / iters;
+  }
+}
+
+/// Sweep each parallel kernel over 1/2/4/8 threads; print a table and, when
+/// $RP_BENCH_JSON is set, append one JSONL row per (kernel, threads) pair.
+void emit_speedup_rows() {
+  using namespace rp;
+  PlaceProblem p = make_problem(bench_design());
+  const Design& d = bench_design();
+  const auto wl = make_wirelength_model("WA", 4.0);
+  DensityConfig cfg;
+  DensityModel dm(p, cfg);
+  NetlistCsr csr = NetlistCsr::from_design(d);
+  RoutingGrid grid(d, true);
+  std::vector<double> gx(p.nodes.size()), gy(p.nodes.size());
+
+  struct Kernel {
+    const char* name;
+    std::function<void()> fn;
+  };
+  const Kernel kernels[] = {
+      {"wirelength_wa", [&] {
+         std::fill(gx.begin(), gx.end(), 0.0);
+         std::fill(gy.begin(), gy.end(), 0.0);
+         benchmark::DoNotOptimize(wl->eval(p, gx, gy));
+       }},
+      {"density", [&] {
+         std::fill(gx.begin(), gx.end(), 0.0);
+         std::fill(gy.begin(), gy.end(), 0.0);
+         benchmark::DoNotOptimize(dm.eval(p, gx, gy));
+       }},
+      {"congestion", [&] {
+         estimate_probabilistic(d, csr, grid);
+         benchmark::DoNotOptimize(grid.total_overflow());
+       }},
+  };
+
+  const char* json_path = std::getenv("RP_BENCH_JSON");
+  std::ofstream json;
+  if (json_path != nullptr && json_path[0] != '\0')
+    json.open(json_path, std::ios::app);
+
+  std::printf("\nparallel kernel scaling (hardware threads: %d)\n",
+              parallel::hardware_threads());
+  std::printf("%-16s %8s %14s %10s\n", "kernel", "threads", "sec/iter", "speedup");
+  for (const Kernel& k : kernels) {
+    double t1 = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+      parallel::set_num_threads(threads);
+      const double t = time_kernel(k.fn);
+      if (threads == 1) t1 = t;
+      const double speedup = t > 0.0 ? t1 / t : 0.0;
+      std::printf("%-16s %8d %14.3e %9.2fx\n", k.name, threads, t, speedup);
+      if (json.is_open())
+        json << "{\"schema\":\"kernel_speedup\",\"kernel\":\"" << k.name
+             << "\",\"threads\":" << threads << ",\"sec_per_iter\":" << t
+             << ",\"speedup_vs_1\":" << speedup << "}\n";
+    }
+  }
+  parallel::set_num_threads(1);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_speedup_rows();
+  return 0;
+}

@@ -67,9 +67,10 @@ def expect_keys(obj, keys, where):
 
 def validate_report(report, stdout_text):
     expect_keys(report, [
-        "schema_version", "tool", "build", "design", "mode", "options", "eval",
-        "gp", "gp_trace", "macro_legal", "legal", "dp", "stage_times",
-        "stage_total_sec", "counters", "gauges", "peak_rss_kb", "snapshot_dir",
+        "schema_version", "tool", "build", "design", "mode", "parallel",
+        "options", "eval", "gp", "gp_trace", "macro_legal", "legal", "dp",
+        "stage_times", "stage_total_sec", "counters", "gauges", "peak_rss_kb",
+        "snapshot_dir",
     ], "report")
     if FAILURES:
         return
@@ -85,6 +86,17 @@ def validate_report(report, stdout_text):
     check(bool(build.get("compiler")), "report.build.compiler empty")
     check(build.get("cxx_standard", 0) >= 202002,
           "report.build.cxx_standard is not C++20 or later")
+
+    par = report["parallel"]
+    expect_keys(par, ["threads", "hardware_threads", "regions", "chunks"],
+                "report.parallel")
+    check(par.get("threads", 0) >= 1, "report.parallel.threads < 1")
+    check(par.get("hardware_threads", 0) >= 1,
+          "report.parallel.hardware_threads < 1")
+    check(par.get("regions", 0) > 0,
+          "report.parallel.regions not positive (kernels never used the pool)")
+    check(par.get("chunks", 0) >= par.get("regions", 0),
+          "report.parallel.chunks < regions")
 
     design = report["design"]
     expect_keys(design, ["name", "source", "seed", "cells", "nets", "macros",

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Determinism gate for the parallel kernels.
+
+Runs the full flow twice on the same generated design — once with
+--threads 1 and once with --threads <max> — and demands that everything
+observable is IDENTICAL:
+
+1. the .pl placement files are byte-identical;
+2. every snapshot artifact (manifests, grids, convergence history) is
+   byte-identical;
+3. rp_report_diff reports zero differences between the two run reports
+   (its default ignore list covers the "parallel" provenance block, the
+   only section allowed to differ);
+4. a strict Python comparison of the two reports after dropping only the
+   documented volatile keys (timings, RSS, build stamp, output paths,
+   parallel block) — so a new thread-dependent field can't hide behind a
+   loose tolerance.
+
+Usage: check_threads_determinism.py <routplace> <rp_report_diff> [threads]
+Exit code 0 on success. `threads` defaults to max(4, hardware).
+"""
+
+import filecmp
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+FAILURES = []
+
+# Keys that legitimately differ between two identical runs (mirrors
+# report_diff_default_ignores() in src/core/report_diff.cpp).
+VOLATILE_KEYS = {"stage_times", "stage_total_sec", "peak_rss_kb", "build",
+                 "snapshot_dir", "parallel"}
+
+
+def check(cond, what):
+    if not cond:
+        FAILURES.append(what)
+    return cond
+
+
+def scrub(doc):
+    """Drop volatile keys (top level + counter names with a volatile prefix)."""
+    out = {k: v for k, v in doc.items() if k not in VOLATILE_KEYS}
+    for section in ("counters", "gauges"):
+        if section in out:
+            out[section] = {k: v for k, v in out[section].items()
+                            if not k.startswith("parallel.")}
+    return out
+
+
+def run_flow(routplace, outdir, threads):
+    outdir.mkdir()
+    report = outdir / "run.report.json"
+    snap = outdir / "snapshots"
+    cmd = [str(routplace), "--gen", "700", "--seed", "13", "--rounds", "2",
+           "--threads", str(threads), "--out", str(outdir / "out.pl"),
+           "--report-json", str(report), "--snapshot-dir", str(snap)]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=280)
+    if not check(proc.returncode == 0,
+                 f"routplace --threads {threads} exited {proc.returncode}:\n"
+                 f"{proc.stderr[-2000:]}"):
+        return None
+    check(report.exists(), f"--threads {threads}: report not written")
+    check((snap / "manifest.json").exists(),
+          f"--threads {threads}: snapshots not written")
+    return outdir
+
+
+def compare_trees(dir_a, dir_b):
+    """Byte-compare every file present in either tree (recursive)."""
+    files_a = {p.relative_to(dir_a) for p in dir_a.rglob("*") if p.is_file()}
+    files_b = {p.relative_to(dir_b) for p in dir_b.rglob("*") if p.is_file()}
+    check(files_a == files_b,
+          f"file sets differ: only-1t={sorted(map(str, files_a - files_b))} "
+          f"only-Nt={sorted(map(str, files_b - files_a))}")
+    for rel in sorted(files_a & files_b):
+        if rel.name == "run.report.json":
+            continue  # reports are compared semantically below
+        check(filecmp.cmp(dir_a / rel, dir_b / rel, shallow=False),
+              f"'{rel}' differs between thread counts")
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        print(__doc__)
+        return 2
+    routplace, report_diff = Path(sys.argv[1]), Path(sys.argv[2])
+    for p in (routplace, report_diff):
+        if not p.exists():
+            print(f"check_threads_determinism: '{p}' not found")
+            return 2
+    max_threads = int(sys.argv[3]) if len(sys.argv) == 4 \
+        else max(4, os.cpu_count() or 1)
+
+    with tempfile.TemporaryDirectory(prefix="rp_threads_det_") as tmp:
+        tmp = Path(tmp)
+        run_1 = run_flow(routplace, tmp / "t1", 1)
+        run_n = run_flow(routplace, tmp / "tN", max_threads)
+        if run_1 is None or run_n is None:
+            print("\n".join(FAILURES))
+            return 1
+
+        compare_trees(run_1, run_n)
+
+        # rp_report_diff must see zero differences (reports + snapshots).
+        proc = subprocess.run(
+            [str(report_diff), str(run_1 / "run.report.json"),
+             str(run_n / "run.report.json"),
+             "--snapshots", str(run_1 / "snapshots"), str(run_n / "snapshots")],
+            capture_output=True, text=True, timeout=120)
+        check(proc.returncode == 0,
+              f"rp_report_diff exited {proc.returncode}:\n{proc.stdout[-2000:]}")
+        check("identical" in proc.stdout,
+              f"rp_report_diff did not report 'identical':\n{proc.stdout[-2000:]}")
+
+        # Strict comparison: everything outside the documented volatile keys
+        # must match EXACTLY (no tolerance).
+        doc_1 = scrub(json.loads((run_1 / "run.report.json").read_text()))
+        doc_n = scrub(json.loads((run_n / "run.report.json").read_text()))
+        check(doc_1 == doc_n,
+              "scrubbed reports differ exactly where they must not "
+              "(run with rp_report_diff for details)")
+
+        # Sanity: the N-thread run really used N threads.
+        par = json.loads((run_n / "run.report.json").read_text())["parallel"]
+        check(par["threads"] == max_threads,
+              f"report says threads={par['threads']}, expected {max_threads}")
+
+    if FAILURES:
+        print("check_threads_determinism: FAILED")
+        for f in FAILURES:
+            print(f"  - {f}")
+        return 1
+    print(f"check_threads_determinism: OK (--threads 1 == --threads "
+          f"{max_threads}: placement, snapshots, and report all identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

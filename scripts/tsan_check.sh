@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build the parallel kernel tests under ThreadSanitizer and run them with a
+# pool wide enough to exercise the cross-thread paths. The determinism ctest
+# proves results are right; this proves they are right for the right reason
+# (no data races hiding behind x86's strong memory model).
+#
+# Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRP_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target test_parallel test_model test_solver test_route
+
+# TSan findings must fail the run, not just print.
+export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
+# Force a real multi-worker pool even on small CI boxes.
+export RP_THREADS="${RP_THREADS:-4}"
+
+for t in test_parallel test_model test_solver test_route; do
+  echo "== TSan: $t (RP_THREADS=$RP_THREADS) =="
+  "$BUILD_DIR/tests/$t"
+done
+echo "tsan_check: OK (no data races reported)"

@@ -7,6 +7,7 @@
 #include "db/bookshelf.hpp"
 #include "gen/generator.hpp"
 #include "util/logger.hpp"
+#include "util/parallel.hpp"
 #include "util/str.hpp"
 #include "util/telemetry.hpp"
 
@@ -29,6 +30,9 @@ std::string cli_usage() {
       "  --legalizer <l>         abacus (default) | tetris\n"
       "  --density <f>           target placement density (default 1.0)\n"
       "  --rounds <n>            routability (inflation) rounds (default 3)\n"
+      "  --threads <n>           worker threads for the hot kernels (0 = auto:\n"
+      "                          RP_THREADS env, else hardware concurrency);\n"
+      "                          results are identical for every thread count\n"
       "  --skip-dp               skip detailed placement\n"
       "\n"
       "output:\n"
@@ -67,6 +71,7 @@ CliConfig parse_cli_args(const std::vector<std::string>& args) {
     else if (a == "--supply") cfg.track_supply = to_double(need_value(i++, a));
     else if (a == "--density") cfg.target_density = to_double(need_value(i++, a));
     else if (a == "--rounds") cfg.routability_rounds = static_cast<int>(to_long(need_value(i++, a)));
+    else if (a == "--threads") cfg.threads = static_cast<int>(to_long(need_value(i++, a)));
     else if (a == "--skip-dp") cfg.skip_dp = true;
     else if (a == "--report-json") cfg.report_json = need_value(i++, a);
     else if (a == "--trace-json") cfg.trace_json = need_value(i++, a);
@@ -87,6 +92,8 @@ CliConfig parse_cli_args(const std::vector<std::string>& args) {
     throw std::runtime_error("--density must be in (0, 1]");
   if (cfg.routability_rounds < 0)
     throw std::runtime_error("--rounds must be >= 0");
+  if (cfg.threads < 0)
+    throw std::runtime_error("--threads must be >= 0 (0 = auto)");
   if (cfg.snapshot_every < 0)
     throw std::runtime_error("--snapshot-every must be >= 0");
   if ((cfg.snapshot_every > 0 || cfg.snapshot_svg) && cfg.snapshot_dir.empty())
@@ -114,6 +121,11 @@ int run_cli(const CliConfig& cfg) {
     return 0;
   }
   Logger::set_level(cfg.verbose ? LogLevel::Debug : LogLevel::Info);
+
+  const int threads = parallel::resolve_threads(cfg.threads);
+  parallel::set_num_threads(threads);
+  RP_DEBUG("thread pool: %d thread(s) (hardware %d)", threads,
+           parallel::hardware_threads());
 
   Design d;
   if (!cfg.aux.empty()) {

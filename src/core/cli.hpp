@@ -24,6 +24,7 @@ struct CliConfig {
   // Common knobs:
   double target_density = 1.0;
   int routability_rounds = 3;
+  int threads = 0;           ///< 0 = auto (RP_THREADS env, else hardware).
   bool skip_dp = false;
   bool verbose = false;
   bool show_map = false;     ///< Print the ASCII congestion map at the end.

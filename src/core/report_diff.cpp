@@ -128,9 +128,11 @@ ReportDiffResult fail(const std::string& msg) {
 
 const std::vector<std::string>& report_diff_default_ignores() {
   // Things that legitimately differ between two otherwise-identical runs:
-  // wall-clock, memory, the binary's build stamp, and output locations.
+  // wall-clock, memory, the binary's build stamp, output locations, and the
+  // thread-pool provenance block (thread count / pool statistics).
   static const std::vector<std::string> kIgnores = {
       "stage_times", "stage_total_sec", "peak_rss_kb", "build.", "snapshot_dir",
+      "parallel.",
   };
   return kIgnores;
 }

@@ -5,6 +5,7 @@
 #include "core/build_info.hpp"
 #include "util/json.hpp"
 #include "util/logger.hpp"
+#include "util/parallel.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
@@ -117,6 +118,19 @@ std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
   w.end_object();
 
   w.kv("mode", meta.mode);
+
+  // Runtime provenance, not results: everything under "parallel" may differ
+  // between two otherwise-identical runs (thread count, pool statistics), so
+  // rp_report_diff ignores the whole block by default — the determinism
+  // contract is that every block OUTSIDE it is byte-identical for any
+  // --threads value.
+  w.key("parallel").begin_object();
+  w.kv("threads", static_cast<std::int64_t>(parallel::num_threads()));
+  w.kv("hardware_threads", static_cast<std::int64_t>(parallel::hardware_threads()));
+  w.kv("regions", parallel::ThreadPool::instance().regions_run());
+  w.kv("chunks", parallel::ThreadPool::instance().chunks_run());
+  w.end_object();
+
   write_options(w, opt);
   write_eval(w, r.eval);
 

@@ -5,10 +5,19 @@
 #include <stdexcept>
 
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
+#include "util/telemetry.hpp"
 
 namespace rp {
 
 namespace {
+
+// Pass-1/rasterization chunking: few, fat chunks — every chunk owns a full
+// scratch bin grid, so the cap bounds the extra memory at kGridChunkCap
+// grids regardless of thread count.
+constexpr std::size_t kNodeGrain = 256;
+constexpr int kGridChunkCap = 8;
+constexpr std::size_t kBinGrain = 4096;
 
 /// One axis of the bell-shaped potential.
 ///   d1 = w/2 + bin, d2 = w/2 + 2·bin
@@ -107,99 +116,140 @@ double DensityModel::eval(const PlaceProblem& p, std::span<double> gx,
     throw std::runtime_error("density eval: gradient span size mismatch");
   const int nx = grid_.nx(), ny = grid_.ny();
   const double bw = grid_.bin_w(), bh = grid_.bin_h();
-  dens_.fill(0.0);
+  const auto nn = static_cast<std::size_t>(p.num_nodes());
+  RP_COUNT("parallel.density_evals", 1);
 
-  // Pass 1: accumulate smoothed density.
-  // Per-node normalization c_v is recomputed identically in pass 2; cache the
-  // bell sums to avoid re-summing (store per node).
-  std::vector<double> csum(p.nodes.size(), 0.0);
-  for (int v = 0; v < p.num_nodes(); ++v) {
-    const auto& n = p.nodes[static_cast<std::size_t>(v)];
-    if (n.fixed) continue;
-    const double cx = p.x[static_cast<std::size_t>(v)];
-    const double cy = p.y[static_cast<std::size_t>(v)];
-    const Bell bx(n.w, bw), by(n.h, bh);
-    const int ix0 = std::max(0, grid_.ix_of(cx - bx.d2) - 1);
-    const int ix1 = std::min(nx - 1, grid_.ix_of(cx + bx.d2) + 1);
-    const int iy0 = std::max(0, grid_.iy_of(cy - by.d2) - 1);
-    const int iy1 = std::min(ny - 1, grid_.iy_of(cy + by.d2) + 1);
-    double s = 0.0;
-    for (int iy = iy0; iy <= iy1; ++iy) {
-      const double py = by.value(cy - yc_[static_cast<std::size_t>(iy)]);
-      if (py == 0.0) continue;
-      for (int ix = ix0; ix <= ix1; ++ix) {
-        const double px = bx.value(cx - xc_[static_cast<std::size_t>(ix)]);
-        s += px * py;
+  // Pass 1: accumulate smoothed density, one scratch grid per node chunk;
+  // the per-node normalization c_v is cached for pass 2.
+  csum_.resize(nn);
+  const parallel::ChunkPlan plan = parallel::plan_chunks(nn, kNodeGrain, kGridChunkCap);
+  if (static_cast<int>(chunk_dens_.size()) < plan.count)
+    chunk_dens_.resize(static_cast<std::size_t>(plan.count));
+  parallel::ThreadPool::instance().run(plan, [&](int ci, int) {
+    Grid2D<double>& g = chunk_dens_[static_cast<std::size_t>(ci)];
+    if (g.nx() != nx || g.ny() != ny) g = Grid2D<double>(nx, ny, 0.0);
+    else g.fill(0.0);
+    for (std::size_t uv = plan.begin(ci); uv < plan.end(ci); ++uv) {
+      csum_[uv] = 0.0;
+      const auto& n = p.nodes[uv];
+      if (n.fixed) continue;
+      const double cx = p.x[uv];
+      const double cy = p.y[uv];
+      const Bell bx(n.w, bw), by(n.h, bh);
+      const int ix0 = std::max(0, grid_.ix_of(cx - bx.d2) - 1);
+      const int ix1 = std::min(nx - 1, grid_.ix_of(cx + bx.d2) + 1);
+      const int iy0 = std::max(0, grid_.iy_of(cy - by.d2) - 1);
+      const int iy1 = std::min(ny - 1, grid_.iy_of(cy + by.d2) + 1);
+      double s = 0.0;
+      for (int iy = iy0; iy <= iy1; ++iy) {
+        const double py = by.value(cy - yc_[static_cast<std::size_t>(iy)]);
+        if (py == 0.0) continue;
+        for (int ix = ix0; ix <= ix1; ++ix) {
+          const double px = bx.value(cx - xc_[static_cast<std::size_t>(ix)]);
+          s += px * py;
+        }
+      }
+      if (s <= 0.0) continue;
+      const double cv = n.area() * p.inflate[uv] / s;
+      csum_[uv] = cv;
+      for (int iy = iy0; iy <= iy1; ++iy) {
+        const double py = by.value(cy - yc_[static_cast<std::size_t>(iy)]);
+        if (py == 0.0) continue;
+        for (int ix = ix0; ix <= ix1; ++ix) {
+          const double px = bx.value(cx - xc_[static_cast<std::size_t>(ix)]);
+          if (px != 0.0) g(ix, iy) += cv * px * py;
+        }
       }
     }
-    if (s <= 0.0) continue;
-    const double cv =
-        n.area() * p.inflate[static_cast<std::size_t>(v)] / s;
-    csum[static_cast<std::size_t>(v)] = cv;
-    for (int iy = iy0; iy <= iy1; ++iy) {
-      const double py = by.value(cy - yc_[static_cast<std::size_t>(iy)]);
-      if (py == 0.0) continue;
-      for (int ix = ix0; ix <= ix1; ++ix) {
-        const double px = bx.value(cx - xc_[static_cast<std::size_t>(ix)]);
-        if (px != 0.0) dens_(ix, iy) += cv * px * py;
-      }
-    }
-  }
+  });
 
-  // Residuals and penalty value.
-  double penalty = 0.0;
-  for (int iy = 0; iy < ny; ++iy)
-    for (int ix = 0; ix < nx; ++ix) {
-      const double r = std::max(0.0, dens_(ix, iy) - cap_(ix, iy));
-      resid_(ix, iy) = r;
-      penalty += r * r;
+  // Reduce chunk grids into dens_ (per bin, ascending chunk order).
+  const std::size_t bins = dens_.size();
+  if (plan.count == 0) dens_.fill(0.0);
+  parallel::parallel_for(bins, kBinGrain, [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) {
+      double s = 0.0;
+      for (int ci = 0; ci < plan.count; ++ci) s += chunk_dens_[static_cast<std::size_t>(ci)].data()[i];
+      dens_.data()[i] = s;
     }
+  });
+
+  // Residuals and penalty value (chunk-ordered reduction over bins).
+  const double penalty = parallel::parallel_reduce(
+      bins, kBinGrain, 0.0,
+      [&](std::size_t b, std::size_t e, int) -> double {
+        double part = 0.0;
+        for (std::size_t i = b; i < e; ++i) {
+          const double r = std::max(0.0, dens_.data()[i] - cap_.data()[i]);
+          resid_.data()[i] = r;
+          part += r * r;
+        }
+        return part;
+      },
+      [](double a, double b) { return a + b; });
 
   // Pass 2: gradients.  dN/dx_v = Σ_b 2·R_b · c_v · px'(cx-xb) · py.
-  for (int v = 0; v < p.num_nodes(); ++v) {
-    const auto& n = p.nodes[static_cast<std::size_t>(v)];
-    if (n.fixed || csum[static_cast<std::size_t>(v)] == 0.0) continue;
-    const double cx = p.x[static_cast<std::size_t>(v)];
-    const double cy = p.y[static_cast<std::size_t>(v)];
-    const Bell bx(n.w, bw), by(n.h, bh);
-    const int ix0 = std::max(0, grid_.ix_of(cx - bx.d2) - 1);
-    const int ix1 = std::min(nx - 1, grid_.ix_of(cx + bx.d2) + 1);
-    const int iy0 = std::max(0, grid_.iy_of(cy - by.d2) - 1);
-    const int iy1 = std::min(ny - 1, grid_.iy_of(cy + by.d2) + 1);
-    const double cv = csum[static_cast<std::size_t>(v)];
-    double dgx = 0.0, dgy = 0.0;
-    for (int iy = iy0; iy <= iy1; ++iy) {
-      const double dy = cy - yc_[static_cast<std::size_t>(iy)];
-      const double py = by.value(dy);
-      const double dpy = by.deriv(dy);
-      for (int ix = ix0; ix <= ix1; ++ix) {
-        const double r = resid_(ix, iy);
-        if (r == 0.0) continue;
-        const double dx = cx - xc_[static_cast<std::size_t>(ix)];
-        const double px = bx.value(dx);
-        const double dpx = bx.deriv(dx);
-        dgx += 2.0 * r * cv * dpx * py;
-        dgy += 2.0 * r * cv * px * dpy;
+  // Embarrassingly parallel: every node writes only its own gradient slot.
+  parallel::parallel_for(nn, kNodeGrain, [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t uv = b; uv < e; ++uv) {
+      const auto& n = p.nodes[uv];
+      if (n.fixed || csum_[uv] == 0.0) continue;
+      const double cx = p.x[uv];
+      const double cy = p.y[uv];
+      const Bell bx(n.w, bw), by(n.h, bh);
+      const int ix0 = std::max(0, grid_.ix_of(cx - bx.d2) - 1);
+      const int ix1 = std::min(nx - 1, grid_.ix_of(cx + bx.d2) + 1);
+      const int iy0 = std::max(0, grid_.iy_of(cy - by.d2) - 1);
+      const int iy1 = std::min(ny - 1, grid_.iy_of(cy + by.d2) + 1);
+      const double cv = csum_[uv];
+      double dgx = 0.0, dgy = 0.0;
+      for (int iy = iy0; iy <= iy1; ++iy) {
+        const double dy = cy - yc_[static_cast<std::size_t>(iy)];
+        const double py = by.value(dy);
+        const double dpy = by.deriv(dy);
+        for (int ix = ix0; ix <= ix1; ++ix) {
+          const double r = resid_(ix, iy);
+          if (r == 0.0) continue;
+          const double dx = cx - xc_[static_cast<std::size_t>(ix)];
+          const double px = bx.value(dx);
+          const double dpx = bx.deriv(dx);
+          dgx += 2.0 * r * cv * dpx * py;
+          dgy += 2.0 * r * cv * px * dpy;
+        }
       }
+      gx[uv] += dgx;
+      gy[uv] += dgy;
     }
-    gx[static_cast<std::size_t>(v)] += dgx;
-    gy[static_cast<std::size_t>(v)] += dgy;
-  }
+  });
   return penalty;
 }
 
 Grid2D<double> DensityModel::rasterized_density(const PlaceProblem& p) const {
   Grid2D<double> g(grid_.nx(), grid_.ny(), 0.0);
-  for (int v = 0; v < p.num_nodes(); ++v) {
-    const auto& n = p.nodes[static_cast<std::size_t>(v)];
-    if (n.fixed) continue;
-    const double cx = p.x[static_cast<std::size_t>(v)];
-    const double cy = p.y[static_cast<std::size_t>(v)];
-    const double infl = std::sqrt(p.inflate[static_cast<std::size_t>(v)]);
-    const double w = n.w * infl, h = n.h * infl;
-    const Rect r{cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2};
-    grid_.rasterize(r, [&](int ix, int iy, double a) { g(ix, iy) += a; });
-  }
+  const auto nn = static_cast<std::size_t>(p.num_nodes());
+  const parallel::ChunkPlan plan = parallel::plan_chunks(nn, kNodeGrain, kGridChunkCap);
+  std::vector<Grid2D<double>> partial(static_cast<std::size_t>(plan.count));
+  parallel::ThreadPool::instance().run(plan, [&](int ci, int) {
+    Grid2D<double>& pg = partial[static_cast<std::size_t>(ci)];
+    pg = Grid2D<double>(grid_.nx(), grid_.ny(), 0.0);
+    for (std::size_t uv = plan.begin(ci); uv < plan.end(ci); ++uv) {
+      const auto& n = p.nodes[uv];
+      if (n.fixed) continue;
+      const double cx = p.x[uv];
+      const double cy = p.y[uv];
+      const double infl = std::sqrt(p.inflate[uv]);
+      const double w = n.w * infl, h = n.h * infl;
+      const Rect r{cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2};
+      grid_.rasterize(r, [&](int ix, int iy, double a) { pg(ix, iy) += a; });
+    }
+  });
+  parallel::parallel_for(g.size(), kBinGrain, [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) {
+      double s = 0.0;
+      for (int ci = 0; ci < plan.count; ++ci) s += partial[static_cast<std::size_t>(ci)].data()[i];
+      g.data()[i] = s;
+    }
+  });
   return g;
 }
 

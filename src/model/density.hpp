@@ -63,6 +63,11 @@ class DensityModel {
   Grid2D<double> scale_;       ///< External capacity scaling (default 1).
   Grid2D<double> dens_;        ///< Scratch: smoothed density per bin.
   Grid2D<double> resid_;       ///< Scratch: (D-C)^+ per bin.
+  // Parallel pass-1 scratch: one accumulation grid per node CHUNK (chunking
+  // depends only on the node count, so the chunk-ordered reduction into
+  // dens_ is bitwise identical for any thread count).
+  std::vector<Grid2D<double>> chunk_dens_;
+  std::vector<double> csum_;   ///< Per-node bell normalization (pass 1 → 2).
 
   void rebuild_capacity();
 };

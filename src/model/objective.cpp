@@ -44,12 +44,13 @@ double PlacementObjective::eval(std::span<const double> z, std::span<double> gra
   const std::size_t m = movable_.size();
   if (lambda_ != 0.0) {
     // Wirelength gradient packed first, then density added on top with λ.
-    std::vector<double> dx(p_.nodes.size(), 0.0), dy(p_.nodes.size(), 0.0);
-    last_density_ = dens_.eval(p_, dx, dy);
+    dx_.assign(p_.nodes.size(), 0.0);
+    dy_.assign(p_.nodes.size(), 0.0);
+    last_density_ = dens_.eval(p_, dx_, dy_);
     for (std::size_t i = 0; i < m; ++i) {
       const auto v = static_cast<std::size_t>(movable_[i]);
-      grad[i] = gx_[v] + lambda_ * dx[v];
-      grad[m + i] = gy_[v] + lambda_ * dy[v];
+      grad[i] = gx_[v] + lambda_ * dx_[v];
+      grad[m + i] = gy_[v] + lambda_ * dy_[v];
     }
   } else {
     last_density_ = 0.0;

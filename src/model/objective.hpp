@@ -54,6 +54,7 @@ class PlacementObjective {
   double last_wl_ = 0.0;
   double last_density_ = 0.0;
   std::vector<double> gx_, gy_;  // full-size scratch gradients
+  std::vector<double> dx_, dy_;  // density-gradient scratch (λ != 0 path)
 };
 
 }  // namespace rp

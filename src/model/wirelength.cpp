@@ -5,51 +5,43 @@
 #include <stdexcept>
 #include <vector>
 
-namespace rp {
+#include "util/parallel.hpp"
+#include "util/telemetry.hpp"
 
-double WirelengthModel::value(const PlaceProblem& p) const {
-  std::vector<double> gx(p.nodes.size(), 0.0), gy(p.nodes.size(), 0.0);
-  return eval(p, gx, gy);
-}
+namespace rp {
 
 namespace {
 
-/// Per-net scratch reused across nets to avoid allocation.
-struct Scratch {
-  std::vector<double> coord;  // pin coordinate on the current axis
-  std::vector<double> ep;     // e^{(c - max)/γ}
-  std::vector<double> em;     // e^{(min - c)/γ}
-};
+constexpr std::size_t kNetGrain = 64;    ///< Nets per chunk (min).
+constexpr std::size_t kNodeGrain = 2048; ///< Nodes per gather chunk (min).
 
-/// One axis of one net under LSE. Returns the net's smoothed extent and
-/// writes per-pin gradient into dcoord (dWL/d(pin coordinate)).
-double lse_axis(const std::vector<double>& c, double gamma, std::vector<double>& dcoord,
-                Scratch& s) {
-  const std::size_t n = c.size();
-  const auto [mn_it, mx_it] = std::minmax_element(c.begin(), c.end());
+/// One axis of one net under LSE over c[0..n). Returns the net's smoothed
+/// extent; when dc != nullptr writes dWL/d(pin coordinate) per pin.
+double lse_axis(const double* c, int n, double gamma, double* dc, WlThreadScratch& s) {
+  const auto un = static_cast<std::size_t>(n);
+  const auto [mn_it, mx_it] = std::minmax_element(c, c + n);
   const double mn = *mn_it, mx = *mx_it;
-  s.ep.resize(n);
-  s.em.resize(n);
+  s.ep.resize(un);
+  s.em.resize(un);
   double sp = 0, sm = 0;
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < un; ++i) {
     sp += s.ep[i] = std::exp((c[i] - mx) / gamma);
     sm += s.em[i] = std::exp((mn - c[i]) / gamma);
   }
-  dcoord.resize(n);
-  for (std::size_t i = 0; i < n; ++i) dcoord[i] = s.ep[i] / sp - s.em[i] / sm;
+  if (dc != nullptr)
+    for (std::size_t i = 0; i < un; ++i) dc[i] = s.ep[i] / sp - s.em[i] / sm;
   return (mx - mn) + gamma * (std::log(sp) + std::log(sm));
 }
 
 /// One axis of one net under WA.
-double wa_axis(const std::vector<double>& c, double gamma, std::vector<double>& dcoord,
-               Scratch& s) {
-  const std::size_t n = c.size();
-  const auto [mn_it, mx_it] = std::minmax_element(c.begin(), c.end());
+double wa_axis(const double* c, int n, double gamma, double* dc, WlThreadScratch& s) {
+  const auto un = static_cast<std::size_t>(n);
+  const auto [mn_it, mx_it] = std::minmax_element(c, c + n);
   const double mn = *mn_it, mx = *mx_it;
-  s.ep.resize(n);
-  s.em.resize(n);
+  s.ep.resize(un);
+  s.em.resize(un);
   double sp = 0, sm = 0, wsp = 0, wsm = 0;
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < un; ++i) {
     const double ep = std::exp((c[i] - mx) / gamma);
     const double em = std::exp((mn - c[i]) / gamma);
     s.ep[i] = ep;
@@ -61,62 +53,113 @@ double wa_axis(const std::vector<double>& c, double gamma, std::vector<double>& 
   }
   const double xmax = wsp / sp;  // smoothed max
   const double xmin = wsm / sm;  // smoothed min
-  dcoord.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    // d(xmax)/dci = e_i (1 + (c_i - xmax)/γ) / sp ; analogously for xmin.
-    const double dmax = s.ep[i] * (1.0 + (c[i] - xmax) / gamma) / sp;
-    const double dmin = s.em[i] * (1.0 - (c[i] - xmin) / gamma) / sm;
-    dcoord[i] = dmax - dmin;
+  if (dc != nullptr) {
+    for (std::size_t i = 0; i < un; ++i) {
+      // d(xmax)/dci = e_i (1 + (c_i - xmax)/γ) / sp ; analogously for xmin.
+      const double dmax = s.ep[i] * (1.0 + (c[i] - xmax) / gamma) / sp;
+      const double dmin = s.em[i] * (1.0 - (c[i] - xmin) / gamma) / sm;
+      dc[i] = dmax - dmin;
+    }
   }
   return xmax - xmin;
 }
 
-template <typename AxisFn>
-double eval_impl(const PlaceProblem& p, std::span<double> gx, std::span<double> gy,
-                 double gamma, AxisFn&& axis) {
-  if (gx.size() != p.nodes.size() || gy.size() != p.nodes.size())
+/// Parallel net-chunk evaluation. With WithGrad, per-pin gradients land in
+/// csr.pin_gx/pin_gy (each pin written by exactly one chunk) and a second
+/// parallel pass gathers them into gx/gy per node in ascending pin order —
+/// both passes bitwise independent of the thread count.
+template <bool WithGrad, typename AxisFn>
+double eval_csr(const PlaceProblem& p, NetlistCsr& c,
+                std::vector<WlThreadScratch>& scratch, std::span<double> gx,
+                std::span<double> gy, double gamma, AxisFn&& axis) {
+  if (WithGrad && (gx.size() != p.nodes.size() || gy.size() != p.nodes.size()))
     throw std::runtime_error("wirelength eval: gradient span size mismatch");
-  Scratch s;
-  std::vector<double> coord, dcoord;
-  double total = 0.0;
-  for (const PlaceNet& net : p.nets) {
-    const int deg = net.degree();
-    if (deg < 2) continue;
-    // x axis
-    coord.resize(static_cast<std::size_t>(deg));
-    for (int i = 0; i < deg; ++i) {
-      const PlacePin& pin = p.pins[static_cast<std::size_t>(net.pin_begin + i)];
-      coord[static_cast<std::size_t>(i)] = p.x[static_cast<std::size_t>(pin.node)] + pin.ox;
-    }
-    total += net.weight * axis(coord, gamma, dcoord, s);
-    for (int i = 0; i < deg; ++i) {
-      const PlacePin& pin = p.pins[static_cast<std::size_t>(net.pin_begin + i)];
-      gx[static_cast<std::size_t>(pin.node)] += net.weight * dcoord[static_cast<std::size_t>(i)];
-    }
-    // y axis
-    for (int i = 0; i < deg; ++i) {
-      const PlacePin& pin = p.pins[static_cast<std::size_t>(net.pin_begin + i)];
-      coord[static_cast<std::size_t>(i)] = p.y[static_cast<std::size_t>(pin.node)] + pin.oy;
-    }
-    total += net.weight * axis(coord, gamma, dcoord, s);
-    for (int i = 0; i < deg; ++i) {
-      const PlacePin& pin = p.pins[static_cast<std::size_t>(net.pin_begin + i)];
-      gy[static_cast<std::size_t>(pin.node)] += net.weight * dcoord[static_cast<std::size_t>(i)];
-    }
+  c.gather_coords(p);
+  const auto nets = static_cast<std::size_t>(c.num_nets);
+  const double total = parallel::parallel_reduce(
+      nets, kNetGrain, 0.0,
+      [&](std::size_t b, std::size_t e, int worker) -> double {
+        WlThreadScratch& s = scratch[static_cast<std::size_t>(worker)];
+        double part = 0.0;
+        for (std::size_t n = b; n < e; ++n) {
+          const int off = c.net_offset[n];
+          const int deg = c.net_offset[n + 1] - off;
+          const auto uoff = static_cast<std::size_t>(off);
+          if (deg < 2) {
+            if (WithGrad)
+              for (int i = 0; i < deg; ++i) {
+                c.pin_gx[uoff + static_cast<std::size_t>(i)] = 0.0;
+                c.pin_gy[uoff + static_cast<std::size_t>(i)] = 0.0;
+              }
+            continue;
+          }
+          const double w = c.net_weight[n];
+          double* dgx = WithGrad ? c.pin_gx.data() + off : nullptr;
+          double* dgy = WithGrad ? c.pin_gy.data() + off : nullptr;
+          part += w * axis(c.pin_cx.data() + off, deg, gamma, dgx, s);
+          part += w * axis(c.pin_cy.data() + off, deg, gamma, dgy, s);
+          if (WithGrad && w != 1.0)
+            for (int i = 0; i < deg; ++i) {
+              dgx[i] *= w;
+              dgy[i] *= w;
+            }
+        }
+        return part;
+      },
+      [](double a, double b) { return a + b; });
+
+  if (WithGrad) {
+    parallel::parallel_for(
+        static_cast<std::size_t>(c.num_nodes), kNodeGrain,
+        [&](std::size_t b, std::size_t e, int) {
+          for (std::size_t v = b; v < e; ++v) {
+            const int k0 = c.node_pin_offset[v];
+            const int k1 = c.node_pin_offset[v + 1];
+            double sx = 0.0, sy = 0.0;
+            for (int k = k0; k < k1; ++k) {
+              const auto pin = static_cast<std::size_t>(c.node_pin[static_cast<std::size_t>(k)]);
+              sx += c.pin_gx[pin];
+              sy += c.pin_gy[pin];
+            }
+            gx[v] += sx;
+            gy[v] += sy;
+          }
+        });
   }
   return total;
 }
 
 }  // namespace
 
+NetlistCsr& WirelengthModel::prepare(const PlaceProblem& p) const {
+  if (!csr_valid_ || csr_.num_nodes != p.num_nodes() ||
+      csr_.num_nets != p.num_nets() ||
+      csr_.num_pins != static_cast<int>(p.pins.size())) {
+    csr_ = NetlistCsr::from_problem(p);
+    csr_valid_ = true;
+  }
+  const auto threads = static_cast<std::size_t>(parallel::num_threads());
+  if (scratch_.size() < threads) scratch_.resize(threads);
+  RP_COUNT("parallel.wl_evals", 1);
+  return csr_;
+}
+
 double LseWirelength::eval(const PlaceProblem& p, std::span<double> gx,
                            std::span<double> gy) const {
-  return eval_impl(p, gx, gy, gamma_, lse_axis);
+  return eval_csr<true>(p, prepare(p), scratch(), gx, gy, gamma_, lse_axis);
+}
+
+double LseWirelength::value(const PlaceProblem& p) const {
+  return eval_csr<false>(p, prepare(p), scratch(), {}, {}, gamma_, lse_axis);
 }
 
 double WaWirelength::eval(const PlaceProblem& p, std::span<double> gx,
                           std::span<double> gy) const {
-  return eval_impl(p, gx, gy, gamma_, wa_axis);
+  return eval_csr<true>(p, prepare(p), scratch(), gx, gy, gamma_, wa_axis);
+}
+
+double WaWirelength::value(const PlaceProblem& p) const {
+  return eval_csr<false>(p, prepare(p), scratch(), {}, {}, gamma_, wa_axis);
 }
 
 std::unique_ptr<WirelengthModel> make_wirelength_model(const std::string& name,

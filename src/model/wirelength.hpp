@@ -16,14 +16,32 @@
 // eval() returns the model value and ACCUMULATES dWL/dx into grad arrays
 // (callers zero them). Gradients flow to every node, fixed included; the
 // solver masks fixed nodes.
+//
+// Evaluation is parallel over net chunks through util/parallel on a CSR
+// flattening of the netlist (model/netlist_csr.hpp): each net writes its
+// per-pin gradients into pin-owned slots (race-free), the value is reduced
+// in fixed chunk order, and a second parallel pass gathers per-node
+// gradients over each node's pin list in ascending pin order — so results
+// are bitwise identical for any thread count. The CSR view and per-thread
+// exp scratch live in the model and are rebuilt only when the problem
+// shape (node/pin/net counts) changes; steady-state evals allocate nothing.
 
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "model/netlist_csr.hpp"
 #include "model/problem.hpp"
 
 namespace rp {
+
+/// Per-thread exp scratch for one net axis (owned by the model, one slot
+/// per pool thread, reused across nets and evals).
+struct WlThreadScratch {
+  std::vector<double> ep;  ///< e^{(c - max)/γ}
+  std::vector<double> em;  ///< e^{(min - c)/γ}
+};
 
 class WirelengthModel {
  public:
@@ -32,14 +50,24 @@ class WirelengthModel {
   /// Smoothed wirelength + gradient accumulation. gx/gy sized num_nodes.
   virtual double eval(const PlaceProblem& p, std::span<double> gx,
                       std::span<double> gy) const = 0;
-  /// Value only (no gradient).
-  double value(const PlaceProblem& p) const;
+  /// Value only — skips every gradient store and the node gather pass.
+  virtual double value(const PlaceProblem& p) const = 0;
 
   virtual void set_gamma(double g) { gamma_ = g; }
   double gamma() const { return gamma_; }
 
  protected:
   double gamma_ = 1.0;
+
+  /// CSR view of p, rebuilt when the problem shape changes; also sizes the
+  /// per-thread scratch to the current pool width.
+  NetlistCsr& prepare(const PlaceProblem& p) const;
+  std::vector<WlThreadScratch>& scratch() const { return scratch_; }
+
+ private:
+  mutable NetlistCsr csr_;
+  mutable bool csr_valid_ = false;
+  mutable std::vector<WlThreadScratch> scratch_;
 };
 
 class LseWirelength final : public WirelengthModel {
@@ -48,6 +76,7 @@ class LseWirelength final : public WirelengthModel {
   std::string name() const override { return "LSE"; }
   double eval(const PlaceProblem& p, std::span<double> gx,
               std::span<double> gy) const override;
+  double value(const PlaceProblem& p) const override;
 };
 
 class WaWirelength final : public WirelengthModel {
@@ -56,6 +85,7 @@ class WaWirelength final : public WirelengthModel {
   std::string name() const override { return "WA"; }
   double eval(const PlaceProblem& p, std::span<double> gx,
               std::span<double> gy) const override;
+  double value(const PlaceProblem& p) const override;
 };
 
 std::unique_ptr<WirelengthModel> make_wirelength_model(const std::string& name,

@@ -43,6 +43,13 @@ class RoutingGrid {
   void add_v(int ix, int iy, double tracks) { vuse_(ix, iy) += tracks; }
   void clear_usage();
 
+  // Whole-grid usage views for bulk writers (the parallel estimator reduces
+  // per-chunk demand grids straight into these).
+  Grid2D<double>& h_use_grid() { return huse_; }
+  Grid2D<double>& v_use_grid() { return vuse_; }
+  const Grid2D<double>& h_use_grid() const { return huse_; }
+  const Grid2D<double>& v_use_grid() const { return vuse_; }
+
   int num_h_edges() const { return (nx() - 1) * ny(); }
   int num_v_edges() const { return nx() * (ny() - 1); }
 

@@ -4,22 +4,46 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
 
 namespace {
 
+// Vector kernels routed through the deterministic pool: chunk-ordered
+// reductions, so every thread count produces the same bits. The grain keeps
+// small systems (coarse levels, tests) on the inline fast path.
+constexpr std::size_t kVecGrain = 4096;
+
 double inf_norm(const std::vector<double>& v) {
-  double m = 0.0;
-  for (const double x : v) m = std::max(m, std::abs(x));
-  return m;
+  return parallel::parallel_reduce(
+      v.size(), kVecGrain, 0.0,
+      [&](std::size_t b, std::size_t e, int) {
+        double m = 0.0;
+        for (std::size_t i = b; i < e; ++i) m = std::max(m, std::abs(v[i]));
+        return m;
+      },
+      [](double a, double b) { return std::max(a, b); });
 }
 
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return parallel::parallel_reduce(
+      a.size(), kVecGrain, 0.0,
+      [&](std::size_t bg, std::size_t e, int) {
+        double s = 0.0;
+        for (std::size_t i = bg; i < e; ++i) s += a[i] * b[i];
+        return s;
+      },
+      [](double x, double y) { return x + y; });
+}
+
+/// z_trial = z + alpha * d  (element-parallel).
+void axpy_into(std::vector<double>& out, const std::vector<double>& z, double alpha,
+               const std::vector<double>& d) {
+  parallel::parallel_for(out.size(), kVecGrain, [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) out[i] = z[i] + alpha * d[i];
+  });
 }
 
 }  // namespace
@@ -32,7 +56,9 @@ CgResult minimize_cg(const CgObjective& f, std::vector<double>& z, const CgOptio
   CgResult res;
   double fz = f(z, g);
   res.f = fz;
-  for (std::size_t i = 0; i < n; ++i) d[i] = -g[i];
+  parallel::parallel_for(n, kVecGrain, [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) d[i] = -g[i];
+  });
 
   for (int it = 0; it < opt.max_iters; ++it) {
     res.iters = it + 1;
@@ -46,7 +72,7 @@ CgResult minimize_cg(const CgObjective& f, std::vector<double>& z, const CgOptio
     double f_new = 0.0;
     bool accepted = false;
     for (int bt = 0; bt <= opt.max_backtracks; ++bt) {
-      for (std::size_t i = 0; i < n; ++i) z_trial[i] = z[i] + alpha * d[i];
+      axpy_into(z_trial, z, alpha, d);
       f_new = f(z_trial, g_trial);
       if (f_new <= fz || bt == opt.max_backtracks) {
         accepted = true;
@@ -69,18 +95,32 @@ CgResult minimize_cg(const CgObjective& f, std::vector<double>& z, const CgOptio
     }
 
     // Polak–Ribière+ with automatic restart (β clamped at 0).
-    double num = 0.0;
-    for (std::size_t i = 0; i < n; ++i) num += g[i] * (g[i] - g_prev[i]);
+    const double num = parallel::parallel_reduce(
+        n, kVecGrain, 0.0,
+        [&](std::size_t b, std::size_t e, int) {
+          double s = 0.0;
+          for (std::size_t i = b; i < e; ++i) s += g[i] * (g[i] - g_prev[i]);
+          return s;
+        },
+        [](double x, double y) { return x + y; });
     const double den = dot(g_prev, g_prev);
     const double beta = den > 0 ? std::max(0.0, num / den) : 0.0;
-    double gd = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      d[i] = -g[i] + beta * d[i];
-      gd += g[i] * d[i];
-    }
+    const double gd = parallel::parallel_reduce(
+        n, kVecGrain, 0.0,
+        [&](std::size_t b, std::size_t e, int) {
+          double s = 0.0;
+          for (std::size_t i = b; i < e; ++i) {
+            d[i] = -g[i] + beta * d[i];
+            s += g[i] * d[i];
+          }
+          return s;
+        },
+        [](double x, double y) { return x + y; });
     // Safeguard: if not a descent direction, restart with steepest descent.
     if (gd >= 0.0) {
-      for (std::size_t i = 0; i < n; ++i) d[i] = -g[i];
+      parallel::parallel_for(n, kVecGrain, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t i = b; i < e; ++i) d[i] = -g[i];
+      });
     }
   }
   RP_COUNT("solver.cg_calls", 1);

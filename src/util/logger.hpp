@@ -10,7 +10,8 @@
 // the numeric 0–4) overrides every programmatic set_level() call, so benches
 // and CI can silence or raise verbosity without code changes.
 //
-// Not thread-safe by design — the placer is single-threaded.
+// Main-thread-only by contract: pool workers (util/parallel) never log —
+// parallel kernels report from the calling thread, so no locks are needed.
 
 #include <cstdarg>
 #include <string>

@@ -1,0 +1,188 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace rp::parallel {
+
+ChunkPlan plan_chunks(std::size_t n, std::size_t grain, int max_chunks) {
+  ChunkPlan p;
+  p.n = n;
+  if (n == 0) {
+    p.count = 0;
+    return p;
+  }
+  if (grain == 0) grain = 1;
+  const std::size_t want = (n + grain - 1) / grain;
+  const auto cap = static_cast<std::size_t>(max_chunks < 1 ? 1 : max_chunks);
+  p.count = static_cast<int>(want < cap ? want : cap);
+  return p;
+}
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("RP_THREADS"); env != nullptr && env[0] != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  return hardware_threads();
+}
+
+void set_num_threads(int n) { ThreadPool::instance().resize(n < 1 ? 1 : n); }
+
+int num_threads() { return ThreadPool::instance().threads(); }
+
+// ----------------------------------------------------------------- pool
+
+namespace {
+/// True while the current thread executes inside a parallel region; nested
+/// regions degrade to inline ascending-order execution (same result).
+thread_local bool t_in_region = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex m;
+  std::condition_variable cv_work;   // workers wait for a job / shutdown
+  std::condition_variable cv_done;   // caller waits for job completion
+  std::vector<std::thread> workers;  // threads_ - 1 of them
+  bool shutdown = false;
+
+  // Current job (valid while job_active). The caller's run() does not return
+  // until chunks_done == plan->count AND workers_in_job == 0, so plan/fn and
+  // next_chunk stay valid for every worker that entered the job.
+  bool job_active = false;
+  std::uint64_t job_seq = 0;
+  const ChunkPlan* plan = nullptr;
+  const std::function<void(int, int)>* fn = nullptr;
+  std::atomic<int> next_chunk{0};
+  int chunks_done = 0;
+  int workers_in_job = 0;
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  // Conservative default: single-threaded until the CLI / a test opts in.
+  threads_ = 1;
+}
+
+ThreadPool::~ThreadPool() {
+  stop_workers();
+  delete impl_;
+}
+
+void ThreadPool::resize(int threads) {
+  RP_ASSERT(!t_in_region, "ThreadPool::resize from inside a parallel region");
+  if (threads < 1) threads = 1;
+  if (threads == threads_) return;
+  stop_workers();
+  threads_ = threads;
+  start_workers(threads - 1);
+}
+
+void ThreadPool::start_workers(int n) {
+  impl_->shutdown = false;
+  for (int i = 0; i < n; ++i)
+    impl_->workers.emplace_back([this, i] { worker_loop(i + 1); });
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::unique_lock<std::mutex> lk(impl_->m);
+    impl_->shutdown = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  impl_->workers.clear();
+  impl_->shutdown = false;
+}
+
+void ThreadPool::worker_loop(int worker_id) {
+  Impl& s = *impl_;
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    const ChunkPlan* plan = nullptr;
+    const std::function<void(int, int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(s.m);
+      s.cv_work.wait(lk, [&] { return s.shutdown || (s.job_active && s.job_seq != seen_seq); });
+      if (s.shutdown) return;
+      seen_seq = s.job_seq;
+      plan = s.plan;
+      fn = s.fn;
+      ++s.workers_in_job;
+    }
+    t_in_region = true;
+    int done = 0;
+    for (;;) {
+      const int c = s.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= plan->count) break;
+      (*fn)(c, worker_id);
+      ++done;
+    }
+    t_in_region = false;
+    {
+      std::unique_lock<std::mutex> lk(s.m);
+      s.chunks_done += done;
+      --s.workers_in_job;
+      if (s.chunks_done == plan->count && s.workers_in_job == 0) s.cv_done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(const ChunkPlan& plan, const std::function<void(int, int)>& fn) {
+  if (plan.count <= 0) return;
+  ++regions_;
+  chunks_ += plan.count;
+  // Inline paths: single chunk, single-threaded pool, or nested region.
+  // Ascending chunk order keeps results identical to the pooled path.
+  if (plan.count == 1 || threads_ == 1 || t_in_region) {
+    const bool was_in_region = t_in_region;  // nested: stay flagged on exit
+    t_in_region = true;
+    for (int c = 0; c < plan.count; ++c) fn(c, 0);
+    t_in_region = was_in_region;
+    return;
+  }
+  Impl& s = *impl_;
+  {
+    std::unique_lock<std::mutex> lk(s.m);
+    s.plan = &plan;
+    s.fn = &fn;
+    s.next_chunk.store(0, std::memory_order_relaxed);
+    s.chunks_done = 0;
+    s.job_active = true;
+    ++s.job_seq;
+  }
+  s.cv_work.notify_all();
+  // The caller is worker 0.
+  t_in_region = true;
+  int done = 0;
+  for (;;) {
+    const int c = s.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= plan.count) break;
+    fn(c, 0);
+    ++done;
+  }
+  t_in_region = false;
+  {
+    std::unique_lock<std::mutex> lk(s.m);
+    s.chunks_done += done;
+    s.cv_done.wait(lk, [&] { return s.chunks_done == plan.count && s.workers_in_job == 0; });
+    s.job_active = false;
+  }
+}
+
+}  // namespace rp::parallel

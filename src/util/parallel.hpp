@@ -1,0 +1,144 @@
+#pragma once
+// Deterministic multi-threading for the hot kernels.
+//
+// The contract every parallel kernel in this codebase relies on:
+//
+//   *** Results are bitwise identical for ANY thread count. ***
+//
+// Achieved by construction, not by luck:
+//  * Work is split into CHUNKS whose count and boundaries depend only on the
+//    problem size (plan_chunks), never on the thread count. Threads race for
+//    chunk indices, but a chunk's output is a pure function of its input.
+//  * Chunks write to DISJOINT outputs (per-chunk partials, per-pin slots,
+//    per-chunk scratch grids). No shared accumulator is touched from a worker.
+//  * Partials are combined ON THE CALLING THREAD in ascending chunk order
+//    (parallel_reduce), so floating-point sums see one fixed association
+//    regardless of how chunks were scheduled.
+//
+// Consequently `--threads 1` and `--threads 64` produce byte-identical run
+// reports and snapshots; the determinism ctest enforces this end to end.
+//
+// Thread-count policy: set_num_threads() (CLI --threads) > RP_THREADS env >
+// std::thread::hardware_concurrency(). The pool is process-global and lazy;
+// resizing joins and respawns workers.
+//
+// Telemetry/logging remain main-thread-only: workers never touch the
+// Registry or the Logger. Kernels bump their counters from the caller.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rp::parallel {
+
+/// Chunk layout for a range [0, n): `count` chunks with near-equal sizes,
+/// a pure function of (n, grain, max_chunks) — NEVER of the thread count.
+struct ChunkPlan {
+  std::size_t n = 0;
+  int count = 0;
+
+  /// Half-open [begin, end) of chunk c. Remainder spread over the first
+  /// (n % count) chunks so sizes differ by at most one.
+  std::size_t begin(int c) const {
+    const std::size_t q = n / static_cast<std::size_t>(count);
+    const std::size_t r = n % static_cast<std::size_t>(count);
+    const auto uc = static_cast<std::size_t>(c);
+    return q * uc + (uc < r ? uc : r);
+  }
+  std::size_t end(int c) const { return begin(c + 1); }
+};
+
+/// Default cap on chunks per region. High enough for load balance, low
+/// enough that per-chunk partial arrays stay tiny.
+inline constexpr int kDefaultMaxChunks = 64;
+
+/// Plan chunks for n items with a minimum granularity. n == 0 -> 0 chunks;
+/// n <= grain -> 1 chunk (inline fast path, no pool round trip).
+ChunkPlan plan_chunks(std::size_t n, std::size_t grain, int max_chunks = kDefaultMaxChunks);
+
+/// Number of hardware threads (>= 1).
+int hardware_threads();
+
+/// Resolve an effective thread count: requested > 0 wins, else RP_THREADS
+/// env (if a positive integer), else hardware_threads().
+int resolve_threads(int requested);
+
+/// Set the global pool size (clamped to >= 1). Joins/respawns workers.
+void set_num_threads(int n);
+
+/// Current global pool size (>= 1). Never call set_* from a worker.
+int num_threads();
+
+/// Fixed-size pool of persistent workers. Thread 0 is the CALLER: a region
+/// with T threads runs on T-1 workers plus the submitting thread, so
+/// `threads() == 1` means fully inline execution.
+class ThreadPool {
+ public:
+  static ThreadPool& instance();
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+  void resize(int threads);
+
+  /// Execute fn(chunk, worker) for every chunk in `plan`; returns when all
+  /// chunks finished. worker in [0, threads()); the caller participates as
+  /// worker 0. Chunk->worker assignment is dynamic (and irrelevant to the
+  /// result); chunk outputs must be disjoint. Nested calls from inside a
+  /// region run inline on the current thread, in ascending chunk order.
+  void run(const ChunkPlan& plan, const std::function<void(int, int)>& fn);
+
+  // Lifetime-stable counters for the run report (main-thread reads).
+  std::int64_t regions_run() const { return regions_; }
+  std::int64_t chunks_run() const { return chunks_; }
+
+ private:
+  ThreadPool();
+  void start_workers(int n);
+  void stop_workers();
+  void worker_loop(int worker_id);
+
+  struct Impl;
+  Impl* impl_;
+  int threads_ = 1;
+  std::int64_t regions_ = 0;
+  std::int64_t chunks_ = 0;
+};
+
+/// parallel_for over [0, n): body(begin, end, worker) per chunk.
+/// Determinism: outputs of distinct chunks must be disjoint.
+template <typename Body>
+void parallel_for(std::size_t n, std::size_t grain, Body&& body) {
+  const ChunkPlan plan = plan_chunks(n, grain);
+  if (plan.count == 0) return;
+  if (plan.count == 1) {  // Inline fast path: no pool, no std::function.
+    body(std::size_t{0}, n, 0);
+    return;
+  }
+  ThreadPool::instance().run(
+      plan, [&](int c, int w) { body(plan.begin(c), plan.end(c), w); });
+}
+
+/// Ordered reduction over [0, n): per-chunk partials are computed in
+/// parallel, then combined in ASCENDING CHUNK ORDER on the calling thread —
+/// the floating-point result is bitwise identical for any thread count.
+///   chunk_fn(begin, end, worker) -> T;   combine(acc, partial) -> T
+template <typename T, typename ChunkFn, typename Combine>
+T parallel_reduce(std::size_t n, std::size_t grain, T init, ChunkFn&& chunk_fn,
+                  Combine&& combine) {
+  const ChunkPlan plan = plan_chunks(n, grain);
+  if (plan.count == 0) return init;
+  if (plan.count == 1) return combine(init, chunk_fn(std::size_t{0}, n, 0));
+  std::vector<T> partial(static_cast<std::size_t>(plan.count));
+  ThreadPool::instance().run(plan, [&](int c, int w) {
+    partial[static_cast<std::size_t>(c)] = chunk_fn(plan.begin(c), plan.end(c), w);
+  });
+  T acc = init;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace rp::parallel

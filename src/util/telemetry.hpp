@@ -13,7 +13,8 @@
 // (https://chromium.googlesource.com/catapult → trace_event format), loadable
 // in chrome://tracing or https://ui.perfetto.dev.
 //
-// Like the logger, this is single-threaded by design.
+// Like the logger, main-thread-only by contract: pool workers never touch
+// the registry; parallel kernels bump counters from the calling thread.
 
 #include <cstdint>
 #include <map>

@@ -91,6 +91,16 @@ TEST(Cli, FlowOptionsMapping) {
   EXPECT_TRUE(cli_flow_options(c).gp.routability.enable);
 }
 
+TEST(Cli, ParsesThreadsFlag) {
+  EXPECT_EQ(parse_cli_args({}).threads, 0);  // 0 = auto
+  EXPECT_EQ(parse_cli_args({"--threads", "4"}).threads, 4);
+  EXPECT_EQ(parse_cli_args({"--threads", "1"}).threads, 1);
+  EXPECT_THROW(parse_cli_args({"--threads", "-2"}), std::runtime_error);
+  EXPECT_THROW(parse_cli_args({"--threads"}), std::runtime_error);
+  EXPECT_THROW(parse_cli_args({"--threads", "two"}), std::runtime_error);
+  EXPECT_NE(cli_usage().find("--threads"), std::string::npos);
+}
+
 TEST(Cli, ParsesTelemetryOutputFlags) {
   const CliConfig c = parse_cli_args(
       {"--report-json", "r.json", "--trace-json", "t.json"});
@@ -152,6 +162,9 @@ TEST(Cli, EndToEndEmitsReportAndTrace) {
   EXPECT_TRUE(rep.at("eval").at("legality").at("ok").b);
   EXPECT_GT(rep.at("counters").at("gp.outer_iters").num, 0.0);
   EXPECT_GT(rep.at("stage_total_sec").num, 0.0);
+  EXPECT_GE(rep.at("parallel").at("threads").num, 1.0);
+  EXPECT_GE(rep.at("parallel").at("hardware_threads").num, 1.0);
+  EXPECT_GT(rep.at("parallel").at("regions").num, 0.0);
 
   // Trace: loadable event buffer with spans for every flow stage.
   const JsonValue tr = json_parse(slurp(trace));
