@@ -21,6 +21,7 @@
 #include "core/run_report.hpp"
 #include "gen/generator.hpp"
 #include "util/logger.hpp"
+#include "util/profiler.hpp"
 
 namespace rp::bench {
 
@@ -60,11 +61,16 @@ inline void maybe_emit_report(const BenchmarkSpec& spec, const FlowRun& run,
     return;
   }
   out << run_report_json(meta, opt, run.result, /*indent=*/0) << "\n";
+  // With RP_PROFILE on, also append one profile_region row per region so
+  // bench_trend.py tracks kernel latency quantiles alongside flow metrics.
+  out << profiler::region_jsonl_rows(run.bench, run.flow);
 }
 
 /// Run one flow variant on a freshly generated instance of `spec`.
 inline FlowRun run_flow(const BenchmarkSpec& spec, const std::string& flow_name,
                         const FlowOptions& opt) {
+  // Opt-in profiling for bench runs (the CLI path does this in run_cli).
+  if (profiler::env_requested() && !profiler::enabled()) profiler::set_enabled(true);
   Design d = generate_benchmark(spec);
   PlacementFlow flow(opt);
   FlowRun r;

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""bench_smoke ctest: the perf-regression gate works end to end.
+
+Runs the micro-kernel bench binary just far enough to emit its JSONL speedup
+rows (a non-matching --benchmark_filter skips the google-benchmark timing
+loops; the custom main() always runs the thread-sweep emitter), then drives
+scripts/bench_trend.py through the full gate cycle:
+
+  1. aggregate the JSONL into a BENCH_<date>.json trend file,
+  2. compare it against itself            -> must PASS (exit 0),
+  3. compare with a synthetic 25% slowdown injected into every time metric
+     (--scale-time 1.25)                  -> must FAIL (nonzero exit).
+
+Usage: bench_smoke.py <bench_micro_kernels> <bench_trend.py>
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(cmd, env=None, expect_fail=False):
+    print("+ %s" % " ".join(cmd), flush=True)
+    r = subprocess.run(cmd, env=env, stdout=subprocess.PIPE,
+                       stderr=subprocess.STDOUT, text=True)
+    sys.stdout.write(r.stdout)
+    if expect_fail and r.returncode == 0:
+        print("FAIL: expected nonzero exit from: %s" % " ".join(cmd))
+        sys.exit(1)
+    if not expect_fail and r.returncode != 0:
+        print("FAIL: exit %d from: %s" % (r.returncode, " ".join(cmd)))
+        sys.exit(1)
+    return r.stdout
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        sys.exit(2)
+    bench_bin, trend_py = sys.argv[1], sys.argv[2]
+
+    with tempfile.TemporaryDirectory(prefix="rp_bench_smoke_") as tmp:
+        jsonl = os.path.join(tmp, "bench.jsonl")
+        trend = os.path.join(tmp, "BENCH_smoke.json")
+
+        env = dict(os.environ)
+        env["RP_BENCH_JSON"] = jsonl
+        env["RP_BENCH_QUICK"] = "1"
+        # Skip every registered google-benchmark (none match); only the
+        # speedup-row emitter runs, which is what the gate consumes.
+        run([bench_bin, "--benchmark_filter=^$"], env=env)
+        if not os.path.exists(jsonl) or os.path.getsize(jsonl) == 0:
+            print("FAIL: bench binary emitted no JSONL at %s" % jsonl)
+            sys.exit(1)
+
+        run([sys.executable, trend_py, "aggregate", "--input", jsonl,
+             "--out", trend, "--date", "00000000"])
+
+        # Self-comparison: identical trend files never regress.
+        run([sys.executable, trend_py, "compare",
+             "--baseline", trend, "--current", trend])
+
+        # Injected 25% slowdown on time metrics must trip the 15% gate.
+        out = run([sys.executable, trend_py, "compare",
+                   "--baseline", trend, "--current", trend,
+                   "--scale-time", "1.25"], expect_fail=True)
+        if "REGRESSED" not in out:
+            print("FAIL: injected slowdown not reported as REGRESSED")
+            sys.exit(1)
+
+    print("bench_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

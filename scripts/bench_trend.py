@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Aggregate bench JSONL into a dated trend file and gate perf regressions.
+
+The bench binaries append machine-readable JSONL rows to $RP_BENCH_JSON:
+
+  * full run reports   (one ``{"schema_version": ..., "design": ...}`` object
+    per flow run, same schema as ``routplace --report-json``),
+  * kernel speedups    (``{"schema": "kernel_speedup", ...}`` from
+    bench_micro_kernels' thread sweep),
+  * profiler regions   (``{"schema": "profile_region", ...}`` when the run
+    was profiled via RP_PROFILE=1).
+
+``aggregate`` flattens those rows into a BENCH_<YYYYMMDD>.json trajectory
+file: a flat ``metrics`` map keyed
+
+  flow.<design>.<mode>.<metric>      hpwl / scaled_hpwl / rc / stage_total_sec
+  kernel.<kernel>.t<threads>.<m>     sec_per_iter / speedup_vs_1
+  region.<bench>.<flow>.<region>.<m> total_ms / p50_us / p95_us / p99_us
+
+Each metric records its value (mean over rows), sample count, and a *kind*
+that decides the regression direction and default noise tolerance:
+
+  time           lower is better; noisy     -> default tolerance 15%
+  higher_better  higher is better; noisy    -> default tolerance 15%
+  quality        lower is better; exact     -> default tolerance 1%
+
+``compare`` checks a current trend file against a committed baseline and
+exits nonzero if any shared metric regressed beyond its tolerance — this is
+the CI gate (see the bench_smoke ctest). Metrics present on only one side
+are reported but never fail the gate (benches come and go).
+
+stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+TIME_SUFFIXES = ("_sec", "_ms", "_us", "sec_per_iter", "stage_total_sec")
+HIGHER_BETTER_SUFFIXES = ("speedup_vs_1",)
+
+# Flow-report metrics worth tracking (quality is deterministic per design,
+# runtime is the thing PRs move).
+FLOW_METRICS = ("hpwl", "scaled_hpwl", "rc", "stage_total_sec")
+REGION_METRICS = ("total_ms", "p50_us", "p95_us", "p99_us")
+
+
+def metric_kind(key):
+    if key.endswith(HIGHER_BETTER_SUFFIXES):
+        return "higher_better"
+    if key.endswith(TIME_SUFFIXES):
+        return "time"
+    return "quality"
+
+
+def fail(msg):
+    print("bench_trend: %s" % msg, file=sys.stderr)
+    sys.exit(2)
+
+
+# ----------------------------------------------------------------- aggregate
+
+
+def rows_from_jsonl(path):
+    rows = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for ln, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    fail("%s:%d: bad JSON line: %s" % (path, ln, e))
+    except OSError as e:
+        fail("cannot read '%s': %s" % (path, e))
+    if not rows:
+        fail("'%s' contains no JSONL rows" % path)
+    return rows
+
+
+def metrics_from_rows(rows):
+    """Flatten JSONL rows into {key: [values]}."""
+    acc = {}
+
+    def add(key, value):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        acc.setdefault(key, []).append(float(value))
+
+    for row in rows:
+        schema = row.get("schema")
+        if schema == "kernel_speedup":
+            base = "kernel.%s.t%d" % (row.get("kernel", "?"), int(row.get("threads", 0)))
+            add(base + ".sec_per_iter", row.get("sec_per_iter"))
+            add(base + ".speedup_vs_1", row.get("speedup_vs_1"))
+        elif schema == "profile_region":
+            base = "region.%s.%s.%s" % (
+                row.get("bench", "?"), row.get("flow", "?"), row.get("region", "?"))
+            for m in REGION_METRICS:
+                add("%s.%s" % (base, m), row.get(m))
+        elif "schema_version" in row and "design" in row:
+            base = "flow.%s.%s" % (row["design"].get("name", "?"), row.get("mode", "?"))
+            ev = row.get("eval", {})
+            add(base + ".hpwl", ev.get("hpwl"))
+            add(base + ".scaled_hpwl", ev.get("scaled_hpwl"))
+            add(base + ".rc", ev.get("congestion", {}).get("rc"))
+            add(base + ".stage_total_sec", row.get("stage_total_sec"))
+        # Unknown rows are skipped: the JSONL stream is append-only and a
+        # newer producer must not break an older aggregator.
+    return acc
+
+
+def cmd_aggregate(args):
+    date = args.date or time.strftime("%Y%m%d")
+    rows = rows_from_jsonl(args.input)
+    acc = metrics_from_rows(rows)
+    if not acc:
+        fail("no recognized metrics in '%s'" % args.input)
+    metrics = {
+        key: {
+            "value": sum(vals) / len(vals),
+            "kind": metric_kind(key),
+            "n": len(vals),
+        }
+        for key, vals in sorted(acc.items())
+    }
+    doc = {
+        "schema": "bench_trend",
+        "version": 1,
+        "date": date,
+        "rows": len(rows),
+        "metrics": metrics,
+    }
+    out = args.out or ("BENCH_%s.json" % date)
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("bench_trend: wrote %s (%d metrics from %d rows)" % (out, len(metrics), len(rows)))
+    return 0
+
+
+# ------------------------------------------------------------------- compare
+
+
+def load_trend(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail("cannot load trend file '%s': %s" % (path, e))
+    if doc.get("schema") != "bench_trend" or "metrics" not in doc:
+        fail("'%s' is not a bench_trend file" % path)
+    return doc
+
+
+def cmd_compare(args):
+    base = load_trend(args.baseline)
+    cur = load_trend(args.current)
+    bm, cm = base["metrics"], cur["metrics"]
+
+    regressions, improvements, checked = [], [], 0
+    for key in sorted(set(bm) & set(cm)):
+        b, c = bm[key]["value"], cm[key]["value"]
+        kind = bm[key].get("kind", metric_kind(key))
+        if kind == "time" and args.scale_time != 1.0:
+            c *= args.scale_time  # testing aid: synthetic slowdown injection
+        tol = args.quality_tol if kind == "quality" else args.time_tol
+        checked += 1
+        if b == 0.0:
+            continue
+        ratio = c / b
+        if kind == "higher_better":
+            if ratio < 1.0 - tol:
+                regressions.append((key, b, c, ratio))
+            elif ratio > 1.0 + tol:
+                improvements.append((key, b, c, ratio))
+        else:  # time / quality: lower is better
+            if ratio > 1.0 + tol:
+                regressions.append((key, b, c, ratio))
+            elif ratio < 1.0 - tol:
+                improvements.append((key, b, c, ratio))
+
+    only_base = sorted(set(bm) - set(cm))
+    only_cur = sorted(set(cm) - set(bm))
+
+    print("bench_trend: %s (%s) vs %s (%s): %d shared metrics" %
+          (args.baseline, base.get("date", "?"), args.current, cur.get("date", "?"), checked))
+    for key, b, c, ratio in improvements:
+        print("  IMPROVED   %-55s %.4g -> %.4g (%.2fx)" % (key, b, c, ratio))
+    for key in only_base:
+        print("  DROPPED    %s" % key)
+    for key in only_cur:
+        print("  NEW        %s" % key)
+    for key, b, c, ratio in regressions:
+        print("  REGRESSED  %-55s %.4g -> %.4g (%.2fx)" % (key, b, c, ratio))
+
+    if checked == 0:
+        print("bench_trend: FAIL — no shared metrics to compare", file=sys.stderr)
+        return 1
+    if regressions:
+        print("bench_trend: FAIL — %d metric(s) regressed beyond tolerance "
+              "(time ±%.0f%%, quality ±%.0f%%)" %
+              (len(regressions), args.time_tol * 100, args.quality_tol * 100),
+              file=sys.stderr)
+        return 1
+    print("bench_trend: OK — no regressions (%d improved, %d new, %d dropped)" %
+          (len(improvements), len(only_cur), len(only_base)))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    agg = sub.add_parser("aggregate", help="bench JSONL -> BENCH_<date>.json")
+    agg.add_argument("--input", required=True, help="JSONL file ($RP_BENCH_JSON)")
+    agg.add_argument("--out", help="output path (default BENCH_<date>.json)")
+    agg.add_argument("--date", help="override the date stamp (YYYYMMDD)")
+    agg.set_defaults(fn=cmd_aggregate)
+
+    cmp_ = sub.add_parser("compare", help="gate a trend file against a baseline")
+    cmp_.add_argument("--baseline", required=True)
+    cmp_.add_argument("--current", required=True)
+    cmp_.add_argument("--time-tol", type=float, default=0.15,
+                      help="relative tolerance for time/ratio metrics (default 0.15)")
+    cmp_.add_argument("--quality-tol", type=float, default=0.01,
+                      help="relative tolerance for quality metrics (default 0.01)")
+    cmp_.add_argument("--scale-time", type=float, default=1.0,
+                      help="multiply current time metrics (smoke-test injection)")
+    cmp_.set_defaults(fn=cmd_compare)
+
+    args = ap.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -2,8 +2,9 @@
 """Determinism gate for the parallel kernels.
 
 Runs the full flow twice on the same generated design — once with
---threads 1 and once with --threads <max> — and demands that everything
-observable is IDENTICAL:
+--threads 1 and once with --threads <max> --profile (the profiled config:
+one comparison proves both thread- AND profiler-invariance at no extra
+runtime) — and demands that everything observable is IDENTICAL:
 
 1. the .pl placement files are byte-identical;
 2. every snapshot artifact (manifests, grids, convergence history) is
@@ -13,8 +14,8 @@ observable is IDENTICAL:
    only section allowed to differ);
 4. a strict Python comparison of the two reports after dropping only the
    documented volatile keys (timings, RSS, build stamp, output paths,
-   parallel block) — so a new thread-dependent field can't hide behind a
-   loose tolerance.
+   parallel + profile blocks) — so a new thread-dependent field can't hide
+   behind a loose tolerance.
 
 Usage: check_threads_determinism.py <routplace> <rp_report_diff> [threads]
 Exit code 0 on success. `threads` defaults to max(4, hardware).
@@ -31,9 +32,11 @@ from pathlib import Path
 FAILURES = []
 
 # Keys that legitimately differ between two identical runs (mirrors
-# report_diff_default_ignores() in src/core/report_diff.cpp).
+# report_diff_default_ignores() in src/core/report_diff.cpp). "profile" is
+# here because the t1 run is unprofiled and the tN run profiled — the block's
+# presence itself must be ignorable.
 VOLATILE_KEYS = {"stage_times", "stage_total_sec", "peak_rss_kb", "build",
-                 "snapshot_dir", "parallel"}
+                 "snapshot_dir", "parallel", "profile"}
 
 
 def check(cond, what):
@@ -52,13 +55,15 @@ def scrub(doc):
     return out
 
 
-def run_flow(routplace, outdir, threads):
+def run_flow(routplace, outdir, threads, profile=False):
     outdir.mkdir()
     report = outdir / "run.report.json"
     snap = outdir / "snapshots"
     cmd = [str(routplace), "--gen", "700", "--seed", "13", "--rounds", "2",
            "--threads", str(threads), "--out", str(outdir / "out.pl"),
            "--report-json", str(report), "--snapshot-dir", str(snap)]
+    if profile:
+        cmd.append("--profile")
     proc = subprocess.run(cmd, capture_output=True, text=True, timeout=280)
     if not check(proc.returncode == 0,
                  f"routplace --threads {threads} exited {proc.returncode}:\n"
@@ -99,7 +104,7 @@ def main():
     with tempfile.TemporaryDirectory(prefix="rp_threads_det_") as tmp:
         tmp = Path(tmp)
         run_1 = run_flow(routplace, tmp / "t1", 1)
-        run_n = run_flow(routplace, tmp / "tN", max_threads)
+        run_n = run_flow(routplace, tmp / "tN", max_threads, profile=True)
         if run_1 is None or run_n is None:
             print("\n".join(FAILURES))
             return 1
@@ -125,10 +130,15 @@ def main():
               "scrubbed reports differ exactly where they must not "
               "(run with rp_report_diff for details)")
 
-        # Sanity: the N-thread run really used N threads.
-        par = json.loads((run_n / "run.report.json").read_text())["parallel"]
-        check(par["threads"] == max_threads,
-              f"report says threads={par['threads']}, expected {max_threads}")
+        # Sanity: the N-thread run really used N threads and was profiled,
+        # while the 1-thread run was not (the asymmetry is the point).
+        rep_n = json.loads((run_n / "run.report.json").read_text())
+        check(rep_n["parallel"]["threads"] == max_threads,
+              f"report says threads={rep_n['parallel']['threads']}, "
+              f"expected {max_threads}")
+        check("profile" in rep_n, "tN run has no 'profile' block")
+        check("profile" not in json.loads((run_1 / "run.report.json").read_text()),
+              "t1 run unexpectedly has a 'profile' block")
 
     if FAILURES:
         print("check_threads_determinism: FAILED")

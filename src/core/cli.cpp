@@ -8,6 +8,7 @@
 #include "gen/generator.hpp"
 #include "util/logger.hpp"
 #include "util/parallel.hpp"
+#include "util/profiler.hpp"
 #include "util/str.hpp"
 #include "util/telemetry.hpp"
 
@@ -34,6 +35,10 @@ std::string cli_usage() {
       "                          RP_THREADS env, else hardware concurrency);\n"
       "                          results are identical for every thread count\n"
       "  --skip-dp               skip detailed placement\n"
+      "  --profile               in-process profiler: per-region latency\n"
+      "                          histograms + thread-pool busy/wait accounting;\n"
+      "                          adds a \"profile\" block to --report-json\n"
+      "                          (never changes results; also via RP_PROFILE=1)\n"
       "\n"
       "output:\n"
       "  --out <file.pl>         placement output (default <design>.rp.pl)\n"
@@ -50,7 +55,8 @@ std::string cli_usage() {
       "  --help                  this text\n"
       "\n"
       "environment:\n"
-      "  RP_LOG_LEVEL            debug|info|warn|error|silent — overrides --verbose\n";
+      "  RP_LOG_LEVEL            debug|info|warn|error|silent — overrides --verbose\n"
+      "  RP_PROFILE              1 = enable the profiler (same as --profile)\n";
 }
 
 CliConfig parse_cli_args(const std::vector<std::string>& args) {
@@ -73,6 +79,7 @@ CliConfig parse_cli_args(const std::vector<std::string>& args) {
     else if (a == "--rounds") cfg.routability_rounds = static_cast<int>(to_long(need_value(i++, a)));
     else if (a == "--threads") cfg.threads = static_cast<int>(to_long(need_value(i++, a)));
     else if (a == "--skip-dp") cfg.skip_dp = true;
+    else if (a == "--profile") cfg.profile = true;
     else if (a == "--report-json") cfg.report_json = need_value(i++, a);
     else if (a == "--trace-json") cfg.trace_json = need_value(i++, a);
     else if (a == "--snapshot-dir") cfg.snapshot_dir = need_value(i++, a);
@@ -126,6 +133,8 @@ int run_cli(const CliConfig& cfg) {
   parallel::set_num_threads(threads);
   RP_DEBUG("thread pool: %d thread(s) (hardware %d)", threads,
            parallel::hardware_threads());
+
+  if (cfg.profile || profiler::env_requested()) profiler::set_enabled(true);
 
   Design d;
   if (!cfg.aux.empty()) {

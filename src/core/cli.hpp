@@ -26,6 +26,7 @@ struct CliConfig {
   int routability_rounds = 3;
   int threads = 0;           ///< 0 = auto (RP_THREADS env, else hardware).
   bool skip_dp = false;
+  bool profile = false;      ///< In-process profiler (also via RP_PROFILE env).
   bool verbose = false;
   bool show_map = false;     ///< Print the ASCII congestion map at the end.
   bool help = false;

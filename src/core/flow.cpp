@@ -5,6 +5,7 @@
 
 #include "route/estimator.hpp"
 #include "util/logger.hpp"
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
@@ -25,9 +26,10 @@ FlowOptions wirelength_driven_options() {
 
 FlowResult PlacementFlow::run(Design& d) {
   FlowResult r;
-  // Every flow run starts from a clean counter slate, so a run's report
-  // reflects that run only (bench binaries run many flows per process).
+  // Every flow run starts from a clean counter/profile slate, so a run's
+  // report reflects that run only (bench binaries run many flows per process).
   telemetry::Registry::instance().reset();
+  profiler::reset_all();
   RP_TRACE_SPAN("flow");
 
   std::unique_ptr<SnapshotRecorder> snap;

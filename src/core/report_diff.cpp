@@ -128,11 +128,13 @@ ReportDiffResult fail(const std::string& msg) {
 
 const std::vector<std::string>& report_diff_default_ignores() {
   // Things that legitimately differ between two otherwise-identical runs:
-  // wall-clock, memory, the binary's build stamp, output locations, and the
-  // thread-pool provenance block (thread count / pool statistics).
+  // wall-clock, memory, the binary's build stamp, output locations, the
+  // thread-pool provenance block (thread count / pool statistics), and the
+  // profiler block ("profile" is dotless so the key's very presence — one
+  // run profiled, the other not — is ignored too, not just its leaves).
   static const std::vector<std::string> kIgnores = {
       "stage_times", "stage_total_sec", "peak_rss_kb", "build.", "snapshot_dir",
-      "parallel.",
+      "parallel.", "profile",
   };
   return kIgnores;
 }

@@ -6,6 +6,7 @@
 #include "util/json.hpp"
 #include "util/logger.hpp"
 #include "util/parallel.hpp"
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
@@ -93,7 +94,9 @@ std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
                             const FlowResult& r, int indent) {
   JsonWriter w(indent);
   w.begin_object();
-  w.kv("schema_version", 1);
+  // v2: adds the optional "profile" block (only present with --profile /
+  // RP_PROFILE); every v1 field is unchanged, so v1 consumers keep working.
+  w.kv("schema_version", 2);
   w.kv("tool", "routplace");
 
   const BuildInfo& bi = build_info();
@@ -192,6 +195,10 @@ std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
   w.key("gauges").begin_object();
   for (const auto& [name, v] : reg.gauges()) w.kv(name, v);
   w.end_object();
+
+  // Like "parallel": runtime provenance, ignored by rp_report_diff and the
+  // determinism check (timings differ run to run by construction).
+  if (profiler::enabled()) profiler::write_report_block(w);
 
   w.kv("peak_rss_kb", static_cast<std::int64_t>(telemetry::peak_rss_kb()));
   w.kv("snapshot_dir", r.snapshot_dir);

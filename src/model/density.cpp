@@ -6,6 +6,7 @@
 
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
@@ -114,6 +115,7 @@ double DensityModel::eval(const PlaceProblem& p, std::span<double> gx,
                           std::span<double> gy) {
   if (gx.size() != p.nodes.size() || gy.size() != p.nodes.size())
     throw std::runtime_error("density eval: gradient span size mismatch");
+  RP_PROFILE_REGION("kernel/density");
   const int nx = grid_.nx(), ny = grid_.ny();
   const double bw = grid_.bin_w(), bh = grid_.bin_h();
   const auto nn = static_cast<std::size_t>(p.num_nodes());
@@ -254,6 +256,7 @@ Grid2D<double> DensityModel::rasterized_density(const PlaceProblem& p) const {
 }
 
 double DensityModel::overflow(const PlaceProblem& p) const {
+  RP_PROFILE_REGION("kernel/density_overflow");
   const Grid2D<double> g = rasterized_density(p);
   double over = 0.0, area = 0.0;
   for (int iy = 0; iy < grid_.ny(); ++iy)

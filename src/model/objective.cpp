@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/profiler.hpp"
+
 namespace rp {
 
 PlacementObjective::PlacementObjective(PlaceProblem& p, WirelengthModel& wl,
@@ -37,6 +39,7 @@ void PlacementObjective::unpack(std::span<const double> z) {
 }
 
 double PlacementObjective::eval(std::span<const double> z, std::span<double> grad) {
+  RP_PROFILE_REGION("kernel/objective");
   unpack(z);
   std::fill(gx_.begin(), gx_.end(), 0.0);
   std::fill(gy_.begin(), gy_.end(), 0.0);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/parallel.hpp"
+#include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
@@ -74,6 +75,7 @@ double eval_csr(const PlaceProblem& p, NetlistCsr& c,
                 std::span<double> gy, double gamma, AxisFn&& axis) {
   if (WithGrad && (gx.size() != p.nodes.size() || gy.size() != p.nodes.size()))
     throw std::runtime_error("wirelength eval: gradient span size mismatch");
+  RP_PROFILE_REGION("kernel/wirelength");
   c.gather_coords(p);
   const auto nets = static_cast<std::size_t>(c.num_nets);
   const double total = parallel::parallel_reduce(

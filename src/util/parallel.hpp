@@ -30,6 +30,8 @@
 #include <functional>
 #include <vector>
 
+#include "util/profiler.hpp"
+
 namespace rp::parallel {
 
 /// Chunk layout for a range [0, n): `count` chunks with near-equal sizes,
@@ -70,6 +72,49 @@ void set_num_threads(int n);
 /// Current global pool size (>= 1). Never call set_* from a worker.
 int num_threads();
 
+// ------------------------------------------------------- pool observability
+//
+// When pool profiling is on (profiler::set_enabled routes here), every
+// non-nested region additionally times each chunk into a PRE-ALLOCATED
+// per-worker slot (cacheline-aligned, sized at resize() time — zero
+// steady-state allocation). After the region completes, the CALLING thread
+// folds the slots in ascending worker order into the cumulative profile:
+// per-worker busy/wait nanoseconds, chunk counts, a chunk-duration
+// histogram, and per-region efficiency/imbalance ratios. Workers never
+// touch shared accumulators, and nothing here feeds back into chunk
+// planning or results — the determinism contract is untouched.
+
+/// Cumulative per-worker accounting (worker 0 is the caller).
+struct WorkerProfile {
+  std::uint64_t busy_ns = 0;  ///< Executing chunks inside profiled regions.
+  std::uint64_t wait_ns = 0;  ///< Region wall time minus busy (startup + idle tail).
+  std::int64_t chunks = 0;
+};
+
+/// Snapshot of the pool's cumulative profiling data.
+struct PoolProfile {
+  int threads = 1;
+  std::int64_t regions = 0;      ///< Profiled (non-nested) regions run.
+  double wall_ns = 0.0;          ///< Σ region wall time.
+  double busy_ns = 0.0;          ///< Σ over regions of Σ worker busy time.
+  double efficiency_mean = 0.0;  ///< Mean over regions of busy/(workers·wall).
+  double efficiency_min = 0.0;
+  double imbalance_max = 0.0;    ///< Max over regions of max-busy/mean-busy.
+  std::vector<WorkerProfile> workers;
+  profiler::LatencyHistogram chunk_hist;  ///< Every chunk's duration.
+};
+
+/// Toggle chunk/worker timing. Main thread, outside parallel regions.
+/// Prefer profiler::set_enabled(), which flips this together with the
+/// region histograms.
+void set_pool_profiling(bool on);
+bool pool_profiling();
+
+/// Snapshot / zero the cumulative pool profile (main-thread only; reset
+/// preserves the pre-allocated slots).
+PoolProfile pool_profile();
+void reset_pool_profile();
+
 /// Fixed-size pool of persistent workers. Thread 0 is the CALLER: a region
 /// with T threads runs on T-1 workers plus the submitting thread, so
 /// `threads() == 1` means fully inline execution.
@@ -96,6 +141,9 @@ class ThreadPool {
   std::int64_t chunks_run() const { return chunks_; }
 
  private:
+  friend PoolProfile pool_profile();
+  friend void reset_pool_profile();
+
   ThreadPool();
   void start_workers(int n);
   void stop_workers();

@@ -3,8 +3,11 @@
 #include <chrono>
 #include <cstdio>
 
+#include <algorithm>
+
 #include "util/json.hpp"
 #include "util/logger.hpp"
+#include "util/profiler.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -57,6 +60,7 @@ using Clock = std::chrono::steady_clock;
 
 bool g_trace_on = false;
 Clock::time_point g_trace_epoch;
+std::uint64_t g_trace_epoch_ns = 0;  ///< profiler::now_ns() at start_trace().
 int g_span_depth = 0;
 std::vector<TraceEvent> g_events;
 
@@ -66,6 +70,7 @@ void start_trace() {
   g_events.clear();
   g_span_depth = 0;
   g_trace_epoch = Clock::now();
+  g_trace_epoch_ns = profiler::now_ns();
   g_trace_on = true;
 }
 
@@ -80,37 +85,80 @@ double trace_now_us() {
 
 const std::vector<TraceEvent>& trace_events() { return g_events; }
 
-TraceSpan::TraceSpan(std::string name) : active_(g_trace_on) {
-  if (!active_) return;
+void emit_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns, int tid) {
+  if (!g_trace_on) return;
+  TraceEvent e;
+  e.name = name;
+  e.ts_us = start_ns >= g_trace_epoch_ns
+                ? static_cast<double>(start_ns - g_trace_epoch_ns) / 1000.0
+                : 0.0;
+  e.dur_us = static_cast<double>(dur_ns) / 1000.0;
+  e.tid = tid;
+  g_events.push_back(std::move(e));
+}
+
+TraceSpan::TraceSpan(std::string name)
+    : trace_(g_trace_on), profile_(profiler::enabled()) {
+  if (!trace_ && !profile_) return;
   name_ = std::move(name);
-  t0_ = trace_now_us();
-  ++g_span_depth;
+  t0_ns_ = profiler::now_ns();
+  if (trace_) ++g_span_depth;
 }
 
 TraceSpan::~TraceSpan() {
-  if (!active_) return;
+  if (!trace_ && !profile_) return;
+  const std::uint64_t dur_ns = profiler::now_ns() - t0_ns_;
+  if (profile_) profiler::Profiler::instance().record(name_, dur_ns);
+  if (!trace_) return;
   --g_span_depth;
   TraceEvent e;
   e.name = std::move(name_);
-  e.ts_us = t0_;
-  e.dur_us = trace_now_us() - t0_;
+  e.ts_us = t0_ns_ >= g_trace_epoch_ns
+                ? static_cast<double>(t0_ns_ - g_trace_epoch_ns) / 1000.0
+                : 0.0;
+  e.dur_us = static_cast<double>(dur_ns) / 1000.0;
   e.depth = g_span_depth;
   g_events.push_back(std::move(e));
 }
 
 std::string trace_json() {
+  int max_tid = 0;
+  for (const TraceEvent& e : g_events) max_tid = std::max(max_tid, e.tid);
   JsonWriter w;
   w.begin_object();
   w.key("traceEvents").begin_array();
+  // Metadata events name the lanes: tid 0 is the submitting thread (which
+  // doubles as pool worker 0), tid w >= 1 is pool worker w.
+  for (int tid = 0; tid <= max_tid; ++tid) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 1);
+    w.kv("tid", tid);
+    w.key("args").begin_object();
+    w.kv("name", tid == 0 ? std::string("main (worker-0)")
+                          : "worker-" + std::to_string(tid));
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.kv("name", "thread_sort_index");
+    w.kv("ph", "M");
+    w.kv("pid", 1);
+    w.kv("tid", tid);
+    w.key("args").begin_object();
+    w.kv("sort_index", tid);
+    w.end_object();
+    w.end_object();
+  }
   for (const TraceEvent& e : g_events) {
     w.begin_object();
     w.kv("name", e.name);
-    w.kv("cat", "flow");
+    w.kv("cat", e.tid == 0 ? "flow" : "pool");
     w.kv("ph", "X");
     w.kv("ts", e.ts_us);
     w.kv("dur", e.dur_us);
     w.kv("pid", 1);
-    w.kv("tid", 1);
+    w.kv("tid", e.tid);
     w.end_object();
   }
   w.end_array();

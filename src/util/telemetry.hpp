@@ -65,6 +65,7 @@ struct TraceEvent {
   double ts_us = 0.0;
   double dur_us = 0.0;
   int depth = 0;  ///< Span nesting depth at emission (0 = top level).
+  int tid = 0;    ///< Trace lane: 0 = main thread, w >= 1 = pool worker w.
 };
 
 /// Begin collecting trace events (clears any previous buffer).
@@ -78,12 +79,20 @@ double trace_now_us();
 
 const std::vector<TraceEvent>& trace_events();
 
+/// Append a complete event on an explicit thread lane. `start_ns` is a
+/// profiler::now_ns() steady-clock stamp taken on any thread; the CALL must
+/// come from the main thread (the pool uses this to flush per-worker chunk
+/// spans after a region completes). No-op when tracing is off.
+void emit_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns, int tid);
+
 /// Serialize the buffer as a Chrome trace-event JSON document.
 std::string trace_json();
 /// Write trace_json() to a file; returns false (and logs) on I/O failure.
 bool write_trace_json(const std::string& path);
 
-/// RAII span: records a complete event over its lifetime when tracing is on.
+/// RAII span: records a complete trace event over its lifetime when tracing
+/// is on, and feeds its duration into the profiler's region histogram when
+/// profiling is on (either switch arms it; both off keeps it to two branches).
 class TraceSpan {
  public:
   explicit TraceSpan(std::string name);
@@ -93,8 +102,9 @@ class TraceSpan {
 
  private:
   std::string name_;
-  double t0_ = 0.0;
-  bool active_ = false;
+  std::uint64_t t0_ns_ = 0;
+  bool trace_ = false;
+  bool profile_ = false;
 };
 
 /// Peak resident-set size of this process in KiB (0 where unsupported).

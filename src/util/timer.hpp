@@ -3,8 +3,11 @@
 
 #include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/assert.hpp"
 
 namespace rp {
 
@@ -58,13 +61,20 @@ class StageTimes {
 /// RAII: adds the scope's elapsed time to a StageTimes entry at destruction.
 /// Nested ScopedStages on the same StageTimes record hierarchical paths:
 /// ScopedStage("solve") inside ScopedStage("gp") accumulates "gp/solve".
+///
+/// Single-thread-only: StageTimes' open-stage stack has no synchronization,
+/// so a stage must close on the thread that opened it. Closing elsewhere
+/// (e.g. a span moved into a pool chunk via the caller-as-worker-0 path)
+/// would silently corrupt the nesting tree — it asserts instead.
 class ScopedStage {
  public:
   ScopedStage(StageTimes& st, std::string stage)
-      : st_(st), path_(st.compose(stage)) {
+      : st_(st), path_(st.compose(stage)), owner_(std::this_thread::get_id()) {
     st_.open_.push_back(std::move(stage));
   }
   ~ScopedStage() {
+    RP_ASSERT(owner_ == std::this_thread::get_id(),
+              "ScopedStage closed on a different thread than it was opened on");
     st_.open_.pop_back();
     st_.add(path_, timer_.seconds());
   }
@@ -74,6 +84,7 @@ class ScopedStage {
  private:
   StageTimes& st_;
   std::string path_;
+  std::thread::id owner_;
   Timer timer_;
 };
 

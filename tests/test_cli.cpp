@@ -101,6 +101,13 @@ TEST(Cli, ParsesThreadsFlag) {
   EXPECT_NE(cli_usage().find("--threads"), std::string::npos);
 }
 
+TEST(Cli, ParsesProfileFlag) {
+  EXPECT_FALSE(parse_cli_args({}).profile);
+  EXPECT_TRUE(parse_cli_args({"--profile"}).profile);
+  EXPECT_NE(cli_usage().find("--profile"), std::string::npos);
+  EXPECT_NE(cli_usage().find("RP_PROFILE"), std::string::npos);
+}
+
 TEST(Cli, ParsesTelemetryOutputFlags) {
   const CliConfig c = parse_cli_args(
       {"--report-json", "r.json", "--trace-json", "t.json"});
@@ -155,7 +162,8 @@ TEST(Cli, EndToEndEmitsReportAndTrace) {
 
   // Report: schema-valid and self-consistent.
   const JsonValue rep = json_parse(slurp(report));
-  EXPECT_EQ(rep.at("schema_version").num, 1.0);
+  EXPECT_EQ(rep.at("schema_version").num, 2.0);
+  EXPECT_FALSE(rep.has("profile"));  // off by default — the block is absent
   EXPECT_EQ(rep.at("design").at("name").str, "gen300");
   EXPECT_GT(rep.at("eval").at("hpwl").num, 0.0);
   EXPECT_GE(rep.at("eval").at("scaled_hpwl").num, rep.at("eval").at("hpwl").num);
@@ -166,12 +174,13 @@ TEST(Cli, EndToEndEmitsReportAndTrace) {
   EXPECT_GE(rep.at("parallel").at("hardware_threads").num, 1.0);
   EXPECT_GT(rep.at("parallel").at("regions").num, 0.0);
 
-  // Trace: loadable event buffer with spans for every flow stage.
+  // Trace: loadable event buffer with spans for every flow stage ("M" rows
+  // are the thread-naming metadata for the per-worker lanes).
   const JsonValue tr = json_parse(slurp(trace));
   std::set<std::string> names;
   for (const JsonValue& e : tr.at("traceEvents").arr) {
-    EXPECT_EQ(e.at("ph").str, "X");
-    names.insert(e.at("name").str);
+    EXPECT_TRUE(e.at("ph").str == "X" || e.at("ph").str == "M");
+    if (e.at("ph").str == "X") names.insert(e.at("name").str);
   }
   for (const char* stage :
        {"flow", "global", "macro_legal", "legal", "detailed", "eval",

@@ -90,19 +90,28 @@ TEST(TelemetryTrace, SpansNestAndSerialize) {
   EXPECT_LE(events[0].ts_us + events[0].dur_us,
             events[1].ts_us + events[1].dur_us + 1e-6);
 
-  // The serialized buffer is valid Chrome trace-event JSON.
+  // The serialized buffer is valid Chrome trace-event JSON: the two spans
+  // plus the lane-naming metadata rows (thread_name / thread_sort_index).
   const JsonValue doc = json_parse(telemetry::trace_json());
   ASSERT_TRUE(doc.is_object());
   const JsonValue& tev = doc.at("traceEvents");
   ASSERT_TRUE(tev.is_array());
-  ASSERT_EQ(tev.arr.size(), 2u);
+  std::size_t spans = 0, meta = 0;
   for (const JsonValue& e : tev.arr) {
+    EXPECT_TRUE(e.at("name").is_string());
+    if (e.at("ph").str == "M") {
+      ++meta;
+      continue;
+    }
+    ++spans;
     EXPECT_EQ(e.at("ph").str, "X");
     EXPECT_TRUE(e.at("ts").is_number());
     EXPECT_TRUE(e.at("dur").is_number());
     EXPECT_GE(e.at("dur").num, 0.0);
-    EXPECT_TRUE(e.at("name").is_string());
+    EXPECT_EQ(e.at("tid").num, 0.0);  // main-thread spans ride lane 0
   }
+  EXPECT_EQ(spans, 2u);
+  EXPECT_GE(meta, 1u);
 }
 
 TEST(TelemetryTrace, StartClearsPreviousBuffer) {
@@ -127,8 +136,11 @@ TEST(TelemetryTrace, WriteProducesParsableFile) {
   std::stringstream ss;
   ss << in.rdbuf();
   const JsonValue doc = json_parse(ss.str());
-  ASSERT_EQ(doc.at("traceEvents").arr.size(), 1u);
-  EXPECT_EQ(doc.at("traceEvents").arr[0].at("name").str, "span \"with\" quotes\n");
+  bool found = false;
+  for (const JsonValue& e : doc.at("traceEvents").arr)
+    found = found || (e.at("ph").str == "X" &&
+                      e.at("name").str == "span \"with\" quotes\n");
+  EXPECT_TRUE(found);
   fs::remove(path);
 }
 
