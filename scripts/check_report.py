@@ -15,7 +15,11 @@ Runs `routplace --gen ... --profile --report-json ... --trace-json ...
     every flow stage, each multilevel level, and each routability round, plus
     per-worker pool/chunk spans on named worker lanes;
   * the snapshot directory: manifest schema, grid-file sizes matching the
-    declared dimensions, and the convergence history schema.
+    declared dimensions, and the convergence history schema;
+  * the failure contract (schema v3): a malformed Bookshelf benchmark must
+    exit 3 (ParseError) and still write a report whose "error" block carries
+    code/message/where (file:line)/stage/exit_code, plus a "parse" block with
+    the parse mode and repair counters.
 
 Usage: check_report.py /path/to/routplace [--keep]
 Exit code 0 on success; prints every failed expectation otherwise.
@@ -79,7 +83,7 @@ def validate_report(report, stdout_text):
     if FAILURES:
         return
 
-    check(report["schema_version"] == 2, "report: schema_version != 2")
+    check(report["schema_version"] == 3, "report: schema_version != 3")
     check(report["tool"] == "routplace", "report: tool != routplace")
     check_finite(report, "report")
 
@@ -283,6 +287,93 @@ def validate_profile(report, threads):
     validate_histogram(pool["chunk"], "report.profile.pool.chunk")
 
 
+def validate_parse_block(report, expect_mode):
+    """Schema v3 'parse' block: Bookshelf mode + lenient-repair counters."""
+    if not check("parse" in report,
+                 "report: no 'parse' block for Bookshelf input"):
+        return
+    parse = report["parse"]
+    expect_keys(parse, ["mode", "repairs"], "report.parse")
+    if FAILURES:
+        return
+    check(parse["mode"] == expect_mode,
+          f"report.parse.mode '{parse['mode']}' != '{expect_mode}'")
+    repairs = parse["repairs"]
+    fields = ["dangling_pins", "empty_nets", "duplicate_nodes",
+              "synthesized_net_names", "clamped_fixed_cells",
+              "count_mismatches", "unknown_pl_nodes", "total"]
+    expect_keys(repairs, fields, "report.parse.repairs")
+    if FAILURES:
+        return
+    for f in fields:
+        check(isinstance(repairs[f], int) and repairs[f] >= 0,
+              f"report.parse.repairs.{f} not a non-negative integer")
+    check(repairs["total"] == sum(repairs[f] for f in fields[:-1]),
+          "report.parse.repairs.total != sum of the individual counters")
+
+
+def validate_error_block(report, expect_code, expect_exit):
+    """Schema v3 'error' block written by failed runs."""
+    if not check("error" in report, "failed run report: no 'error' block"):
+        return
+    err = report["error"]
+    expect_keys(err, ["code", "message", "where", "stage", "exit_code"],
+                "report.error")
+    if FAILURES:
+        return
+    check(err["code"] == expect_code,
+          f"report.error.code '{err['code']}' != '{expect_code}'")
+    check(err["exit_code"] == expect_exit,
+          f"report.error.exit_code {err['exit_code']} != {expect_exit}")
+    check(bool(err["message"]), "report.error.message empty")
+    check(re.search(r":\d+$", err["where"]) is not None,
+          f"report.error.where '{err['where']}' is not file:line")
+    check(bool(err["stage"]), "report.error.stage empty")
+
+
+def run_negative_path(binary, tmp):
+    """A malformed benchmark must exit 3 (ParseError) and still write a
+    schema-valid report whose 'error' block points at the failing file:line."""
+    bench = tmp / "badbench"
+    bench.mkdir()
+    (bench / "m.aux").write_text(
+        "RowBasedPlacement : m.nodes m.nets m.wts m.pl m.scl\n")
+    # Truncated node record: width present, height missing.
+    (bench / "m.nodes").write_text(
+        "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n  a 4 8\n  b 6\n")
+    (bench / "m.nets").write_text(
+        "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+        "NetDegree : 2 n0\n  a I : 0 0\n  b O : 0 0\n")
+    (bench / "m.wts").write_text("UCLA wts 1.0\n")
+    (bench / "m.pl").write_text("UCLA pl 1.0\na 0 0 : N\nb 20 0 : N\n")
+    (bench / "m.scl").write_text(
+        "UCLA scl 1.0\nNumRows : 1\n"
+        "CoreRow Horizontal\n Coordinate : 0\n Height : 8\n Sitewidth : 1\n"
+        " SubrowOrigin : 0 NumSites : 100\nEnd\n")
+
+    report_path = tmp / "bad.report.json"
+    cmd = [str(binary), "--aux", str(bench / "m.aux"),
+           "--out", str(tmp / "bad.pl"), "--report-json", str(report_path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=60)
+    check(proc.returncode == 3,
+          f"malformed input: exit {proc.returncode}, expected 3 (ParseError)")
+    check("ParseError" in proc.stderr,
+          "malformed input: stderr does not mention ParseError")
+    if not check(report_path.exists(),
+                 "malformed input: no report written on failure"):
+        return
+    report = load_json_strict(report_path, "failed-run report")
+    if report is None:
+        return
+    check(report.get("schema_version") == 3,
+          "failed-run report: schema_version != 3")
+    validate_error_block(report, "ParseError", 3)
+    validate_parse_block(report, "strict")
+    if "error" in report:
+        check("m.nodes" in report["error"].get("where", ""),
+              "failed-run report: error.where does not name m.nodes")
+
+
 def validate_snapshots(snap_dir, rounds_ran):
     manifest = load_json_strict(snap_dir / "manifest.json", "manifest")
     if manifest is None:
@@ -401,6 +492,11 @@ def main():
                        threads)
         if check(snap_dir.is_dir(), "snapshot dir not created"):
             validate_snapshots(snap_dir, ran_rounds)
+        check("parse" not in report,
+              "report: 'parse' block present for generated (non-Bookshelf) input")
+        check("error" not in report,
+              "report: 'error' block present on a successful run")
+        run_negative_path(binary, tmp)
 
     if FAILURES:
         print("check_report: FAILED")

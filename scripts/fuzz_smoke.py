@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Fuzz-smoke gate for the Bookshelf parser.
+
+Runs the deterministic rp_fuzz_bookshelf harness with fixed seeds and
+verifies the robustness contract:
+  * the harness exits 0 — every mutated input was either accepted or
+    rejected with a structured rp::Error; no crash, no unstructured
+    exception escaped (build with -DRP_SANITIZE=address,undefined to also
+    catch memory errors; see scripts/tsan_check.sh);
+  * every seed produced a verdict (accepted + rejected == seeds x 2 modes);
+  * the run is byte-deterministic: a second run with the same seeds in a
+    fresh directory prints the identical summary.
+
+Usage: fuzz_smoke.py /path/to/rp_fuzz_bookshelf [--seeds N] [--seed-base S]
+Exit code 0 on success.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+FAILURES = []
+
+
+def check(cond, what):
+    if not cond:
+        FAILURES.append(what)
+    return cond
+
+
+def run_harness(binary, workdir, seeds, seed_base):
+    cmd = [str(binary), "--seeds", str(seeds), "--seed-base", str(seed_base),
+           "--dir", str(workdir)]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=540)
+    check(proc.returncode == 0,
+          f"rp_fuzz_bookshelf exited {proc.returncode}:\n"
+          f"{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}")
+    return proc.stdout.strip()
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("binary", type=Path)
+    ap.add_argument("--seeds", type=int, default=500)
+    ap.add_argument("--seed-base", type=int, default=1)
+    args = ap.parse_args()
+    if not args.binary.exists():
+        print(f"fuzz_smoke: binary '{args.binary}' not found")
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="rp_fuzz_smoke_") as tmp:
+        tmp = Path(tmp)
+        out1 = run_harness(args.binary, tmp / "run1", args.seeds,
+                           args.seed_base)
+        if FAILURES:
+            print("fuzz_smoke: FAILED")
+            for f in FAILURES:
+                print(f"  - {f}")
+            return 1
+
+        m = re.search(
+            r"(\d+) seed\(s\) x 2 modes — (\d+) accepted, (\d+) rejected.*"
+            r"(\d+) bug", out1)
+        if check(m is not None, f"unparseable summary line: '{out1}'"):
+            seeds, accepted, rejected, bugs = (int(g) for g in m.groups())
+            check(seeds == args.seeds, f"ran {seeds} seeds, asked {args.seeds}")
+            check(accepted + rejected == 2 * args.seeds,
+                  f"verdicts {accepted}+{rejected} != {2 * args.seeds} "
+                  "(a parse neither returned nor threw)")
+            check(rejected > 0,
+                  "no mutant was ever rejected — the mutator is a no-op")
+            check(bugs == 0, f"{bugs} fuzz bug(s) reported")
+
+        # Determinism: same seeds, fresh directory, identical verdicts.
+        out2 = run_harness(args.binary, tmp / "run2", args.seeds,
+                           args.seed_base)
+        check(out1 == out2,
+              f"fuzz run not deterministic:\n  run1: {out1}\n  run2: {out2}")
+
+    if FAILURES:
+        print("fuzz_smoke: FAILED")
+        for f in FAILURES:
+            print(f"  - {f}")
+        return 1
+    print(f"fuzz_smoke: OK ({args.seeds} seeds x 2 modes, deterministic, "
+          "no crashes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

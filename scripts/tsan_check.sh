@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Build the parallel kernel tests under ThreadSanitizer and run them with a
-# pool wide enough to exercise the cross-thread paths. The determinism ctest
-# proves results are right; this proves they are right for the right reason
-# (no data races hiding behind x86's strong memory model).
+# Sanitizer gates:
+#  1. Build the parallel kernel tests under ThreadSanitizer and run them with
+#     a pool wide enough to exercise the cross-thread paths. The determinism
+#     ctest proves results are right; this proves they are right for the
+#     right reason (no data races hiding behind x86's strong memory model).
+#  2. Build the Bookshelf fuzzer under ASan/UBSan and run the seeded mutation
+#     corpus, so parser robustness bugs (overflows, OOB reads on truncated
+#     records) fail loudly instead of silently corrupting the Design.
 #
-# Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
+# Usage: scripts/tsan_check.sh [build-dir] [asan-build-dir]
+#        (defaults: build-tsan build-asan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-tsan}"
+ASAN_BUILD_DIR="${2:-build-asan}"
+FUZZ_SEEDS="${RP_FUZZ_SEEDS:-500}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -26,3 +33,20 @@ for t in test_parallel test_model test_solver test_route; do
   "$BUILD_DIR/tests/$t"
 done
 echo "tsan_check: OK (no data races reported)"
+
+# --- ASan/UBSan fuzz pass -------------------------------------------------
+cmake -B "$ASAN_BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRP_SANITIZE=address,undefined
+cmake --build "$ASAN_BUILD_DIR" -j "$(nproc)" \
+  --target rp_fuzz_bookshelf test_robustness
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0:${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
+
+echo "== ASan/UBSan: test_robustness =="
+"$ASAN_BUILD_DIR/tests/test_robustness"
+echo "== ASan/UBSan: rp_fuzz_bookshelf ($FUZZ_SEEDS seeds) =="
+python3 scripts/fuzz_smoke.py "$ASAN_BUILD_DIR/src/core/rp_fuzz_bookshelf" \
+  --seeds "$FUZZ_SEEDS"
+echo "sanitizer_check: OK (TSan kernels clean, ASan/UBSan fuzz clean)"

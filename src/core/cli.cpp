@@ -6,6 +6,7 @@
 #include "core/run_report.hpp"
 #include "db/bookshelf.hpp"
 #include "gen/generator.hpp"
+#include "util/error.hpp"
 #include "util/logger.hpp"
 #include "util/parallel.hpp"
 #include "util/profiler.hpp"
@@ -25,6 +26,13 @@ std::string cli_usage() {
       "  --gen <n>               generate a synthetic benchmark with n std cells\n"
       "      --seed <s>          generator seed (default 1)\n"
       "      --supply <f>        generator track supply (default 1.0)\n"
+      "  --strict                reject malformed Bookshelf input (default):\n"
+      "                          any defect is a ParseError with file:line\n"
+      "  --lenient               repair-and-warn instead: drop dangling pins and\n"
+      "                          empty nets, keep the first of duplicate nodes,\n"
+      "                          synthesize missing net names, clamp fully\n"
+      "                          off-die fixed cells; each repair is counted in\n"
+      "                          the report's \"parse\" block\n"
       "\n"
       "flow:\n"
       "  --mode <m>              routability (default) | wirelength\n"
@@ -34,6 +42,13 @@ std::string cli_usage() {
       "  --threads <n>           worker threads for the hot kernels (0 = auto:\n"
       "                          RP_THREADS env, else hardware concurrency);\n"
       "                          results are identical for every thread count\n"
+      "  --max-gp-iters <n>      watchdog: cap total GP outer iterations; when\n"
+      "                          hit, GP stops spreading early and the flow\n"
+      "                          continues (deterministic; 0 = off)\n"
+      "  --max-seconds <f>       watchdog: GP wall-clock budget in seconds; same\n"
+      "                          graceful early-stop (machine-dependent, so NOT\n"
+      "                          deterministic across hosts or thread counts;\n"
+      "                          0 = off)\n"
       "  --skip-dp               skip detailed placement\n"
       "  --profile               in-process profiler: per-region latency\n"
       "                          histograms + thread-pool busy/wait accounting;\n"
@@ -56,7 +71,12 @@ std::string cli_usage() {
       "\n"
       "environment:\n"
       "  RP_LOG_LEVEL            debug|info|warn|error|silent — overrides --verbose\n"
-      "  RP_PROFILE              1 = enable the profiler (same as --profile)\n";
+      "  RP_PROFILE              1 = enable the profiler (same as --profile)\n"
+      "\n"
+      "exit codes:\n"
+      "  0 legal placement   1 completed, not legal   2 usage error\n"
+      "  3 ParseError        4 ValidationError        5 NumericError\n"
+      "  6 ResourceError     (see README 'Error handling & exit codes')\n";
 }
 
 CliConfig parse_cli_args(const std::vector<std::string>& args) {
@@ -78,6 +98,11 @@ CliConfig parse_cli_args(const std::vector<std::string>& args) {
     else if (a == "--density") cfg.target_density = to_double(need_value(i++, a));
     else if (a == "--rounds") cfg.routability_rounds = static_cast<int>(to_long(need_value(i++, a)));
     else if (a == "--threads") cfg.threads = static_cast<int>(to_long(need_value(i++, a)));
+    else if (a == "--strict") cfg.lenient = false;
+    else if (a == "--lenient") cfg.lenient = true;
+    else if (a == "--max-gp-iters")
+      cfg.max_gp_iters = static_cast<int>(to_long(need_value(i++, a)));
+    else if (a == "--max-seconds") cfg.max_seconds = to_double(need_value(i++, a));
     else if (a == "--skip-dp") cfg.skip_dp = true;
     else if (a == "--profile") cfg.profile = true;
     else if (a == "--report-json") cfg.report_json = need_value(i++, a);
@@ -101,6 +126,10 @@ CliConfig parse_cli_args(const std::vector<std::string>& args) {
     throw std::runtime_error("--rounds must be >= 0");
   if (cfg.threads < 0)
     throw std::runtime_error("--threads must be >= 0 (0 = auto)");
+  if (cfg.max_gp_iters < 0)
+    throw std::runtime_error("--max-gp-iters must be >= 0 (0 = off)");
+  if (cfg.max_seconds < 0)
+    throw std::runtime_error("--max-seconds must be >= 0 (0 = off)");
   if (cfg.snapshot_every < 0)
     throw std::runtime_error("--snapshot-every must be >= 0");
   if ((cfg.snapshot_every > 0 || cfg.snapshot_svg) && cfg.snapshot_dir.empty())
@@ -114,6 +143,8 @@ FlowOptions cli_flow_options(const CliConfig& cfg) {
   opt.legalizer = cfg.legalizer;
   opt.gp.target_density = cfg.target_density;
   opt.gp.routability.rounds = cfg.routability_rounds;
+  opt.gp.max_gp_iters = cfg.max_gp_iters;
+  opt.gp.max_seconds = cfg.max_seconds;
   opt.gp.verbose = cfg.verbose;
   opt.skip_dp = cfg.skip_dp;
   opt.snapshot.dir = cfg.snapshot_dir;
@@ -136,9 +167,44 @@ int run_cli(const CliConfig& cfg) {
 
   if (cfg.profile || profiler::env_requested()) profiler::set_enabled(true);
 
+  const std::string source = cfg.aux.empty() ? "generated" : "bookshelf";
+  const std::string parse_mode = cfg.lenient ? "lenient" : "strict";
+  const FlowOptions fopt = cli_flow_options(cfg);
+  ParseRepairs repairs;
+  bool trace_active = false;
+
+  // Failure path shared by parse and flow errors: finish the trace if one is
+  // recording, write the run report (with its "error" block) if requested,
+  // log, and return the error class's documented exit code.
+  const auto report_error = [&](const Error& e, const RunReportMeta& meta) {
+    if (trace_active) {
+      telemetry::stop_trace();
+      telemetry::write_trace_json(cfg.trace_json);
+    }
+    if (!cfg.report_json.empty() &&
+        write_run_report(cfg.report_json, meta, fopt, FlowResult{},
+                         RunErrorInfo::from(e)))
+      RP_INFO("run report written to '%s'", cfg.report_json.c_str());
+    RP_ERROR("%s", e.what());
+    return e.exit_code();
+  };
+
   Design d;
   if (!cfg.aux.empty()) {
-    d = read_bookshelf(cfg.aux);
+    BookshelfOptions bso;
+    bso.mode = cfg.lenient ? ParseMode::Lenient : ParseMode::Strict;
+    bso.repairs = &repairs;
+    try {
+      d = read_bookshelf(cfg.aux, bso);
+    } catch (const Error& e) {
+      RunReportMeta meta;
+      meta.design = cfg.aux;
+      meta.source = source;
+      meta.mode = cfg.mode;
+      meta.parse_mode = parse_mode;
+      meta.repairs = repairs;
+      return report_error(e, meta);
+    }
   } else {
     BenchmarkSpec spec = small_spec(cfg.seed);
     spec.num_std_cells = cfg.gen_cells;
@@ -147,21 +213,36 @@ int run_cli(const CliConfig& cfg) {
     d = generate_benchmark(spec);
   }
 
-  if (!cfg.trace_json.empty()) telemetry::start_trace();
-
-  PlacementFlow flow(cli_flow_options(cfg));
-  const FlowResult r = flow.run(d);
+  RunReportMeta meta =
+      make_report_meta(d, source, cfg.mode, cfg.aux.empty() ? cfg.seed : 0);
+  if (!cfg.aux.empty()) {
+    meta.parse_mode = parse_mode;
+    meta.repairs = repairs;
+    if (repairs.total() > 0)
+      RP_WARN("lenient parse repaired %ld defect(s) in '%s' (see report)",
+              repairs.total(), cfg.aux.c_str());
+  }
 
   if (!cfg.trace_json.empty()) {
+    telemetry::start_trace();
+    trace_active = true;
+  }
+
+  PlacementFlow flow(fopt);
+  FlowResult r;
+  try {
+    r = flow.run(d);
+  } catch (const Error& e) {
+    return report_error(e, meta);
+  }
+
+  if (trace_active) {
     telemetry::stop_trace();
     if (telemetry::write_trace_json(cfg.trace_json))
       RP_INFO("trace written to '%s' (load in chrome://tracing or ui.perfetto.dev)",
               cfg.trace_json.c_str());
   }
   if (!cfg.report_json.empty()) {
-    const RunReportMeta meta = make_report_meta(
-        d, cfg.aux.empty() ? "generated" : "bookshelf", cfg.mode,
-        cfg.aux.empty() ? cfg.seed : 0);
     if (write_run_report(cfg.report_json, meta, flow.options(), r))
       RP_INFO("run report written to '%s'", cfg.report_json.c_str());
   }

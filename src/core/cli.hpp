@@ -25,6 +25,9 @@ struct CliConfig {
   double target_density = 1.0;
   int routability_rounds = 3;
   int threads = 0;           ///< 0 = auto (RP_THREADS env, else hardware).
+  bool lenient = false;      ///< Bookshelf parse mode (false = strict).
+  int max_gp_iters = 0;      ///< >0: cap total GP outer iterations (watchdog).
+  double max_seconds = 0.0;  ///< >0: GP wall-clock budget in seconds (watchdog).
   bool skip_dp = false;
   bool profile = false;      ///< In-process profiler (also via RP_PROFILE env).
   bool verbose = false;
@@ -50,7 +53,12 @@ std::string cli_usage();
 FlowOptions cli_flow_options(const CliConfig& cfg);
 
 /// Execute: load/generate, place, report, write the .pl.
-/// Returns a process exit code (0 = legal placement produced).
+/// Returns a process exit code following the documented contract:
+///   0 = legal placement produced, 1 = flow completed but result not legal,
+///   2 = CLI usage error, 3 = ParseError, 4 = ValidationError,
+///   5 = NumericError, 6 = ResourceError (see util/error.hpp).
+/// On an rp::Error the run report (if requested) is still written, with an
+/// "error" block recording code/message/where/stage/exit_code.
 int run_cli(const CliConfig& cfg);
 
 }  // namespace rp

@@ -4,11 +4,29 @@
 #include <stdexcept>
 
 #include "route/estimator.hpp"
+#include "util/error.hpp"
 #include "util/logger.hpp"
 #include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
+
+namespace {
+
+/// Run a stage body; an escaping rp::Error that does not yet know its stage
+/// gets annotated with this stage's name (throw sites deep in a kernel often
+/// cannot know which flow stage invoked them).
+template <typename Fn>
+void with_stage(const char* stage, Fn&& fn) {
+  try {
+    fn();
+  } catch (Error& e) {
+    e.set_stage(stage);
+    throw;
+  }
+}
+
+}  // namespace
 
 FlowOptions routability_driven_options() {
   FlowOptions o;
@@ -38,7 +56,7 @@ FlowResult PlacementFlow::run(Design& d) {
     if (!snap->ok()) snap.reset();  // unwritable dir: run without snapshots
   }
 
-  {
+  with_stage("global", [&] {
     ScopedStage t(r.times, "global");
     RP_TRACE_SPAN("global");
     GpOptions gpo = opt_.gp;
@@ -47,7 +65,7 @@ FlowResult PlacementFlow::run(Design& d) {
     r.gp = gp.run(d);
     r.gp_trace = gp.trace();
     r.times.merge("global", gp.times());
-  }
+  });
 
   // Positions at GP exit, for the final displacement map (GP → legal+DP).
   std::vector<Point> gp_pos;
@@ -56,15 +74,15 @@ FlowResult PlacementFlow::run(Design& d) {
     for (CellId c = 0; c < d.num_cells(); ++c) gp_pos.push_back(d.cell_center(c));
   }
 
-  {
+  with_stage("macro_legal", [&] {
     ScopedStage t(r.times, "macro_legal");
     RP_TRACE_SPAN("macro_legal");
     r.macro_legal = legalize_macros(d, opt_.macro_legal);
     freeze_macros(d);
     RP_COUNT("legal.macros", r.macro_legal.macros);
-  }
+  });
 
-  {
+  with_stage("legal", [&] {
     ScopedStage t(r.times, "legal");
     RP_TRACE_SPAN("legal");
     LegalizeStats ls;
@@ -75,16 +93,17 @@ FlowResult PlacementFlow::run(Design& d) {
       TetrisLegalizer lg(opt_.legal);
       ls = lg.run(d);
     } else {
-      throw std::runtime_error("unknown legalizer '" + opt_.legalizer + "'");
+      RP_THROW(ErrorCode::ValidationError,
+               "unknown legalizer '" + opt_.legalizer + "'");
     }
     r.legal = ls;
     RP_COUNT("legal.cells", ls.cells);
     RP_COUNT("legal.failed", ls.failed);
     RP_INFO("legalization (%s): %d cells, avg disp %.2f, max %.2f, %d failed",
             opt_.legalizer.c_str(), ls.cells, ls.avg_disp(), ls.max_disp, ls.failed);
-  }
+  });
 
-  if (!opt_.skip_dp) {
+  if (!opt_.skip_dp) with_stage("detailed", [&] {
     ScopedStage t(r.times, "detailed");
     RP_TRACE_SPAN("detailed");
     DetailedPlaceOptions dpo = opt_.dp;
@@ -110,9 +129,9 @@ FlowResult PlacementFlow::run(Design& d) {
             "%ld reorders, %ld ism",
             r.dp.hpwl_before, r.dp.hpwl_after, 100.0 * r.dp.improvement(), r.dp.swaps,
             r.dp.relocations, r.dp.reorders, r.dp.ism_moves);
-  }
+  });
 
-  if (!opt_.skip_eval) {
+  if (!opt_.skip_eval) with_stage("eval", [&] {
     ScopedStage t(r.times, "eval");
     RP_TRACE_SPAN("eval");
     if (snap) {
@@ -137,7 +156,7 @@ FlowResult PlacementFlow::run(Design& d) {
             r.eval.hpwl, r.eval.scaled_hpwl, r.eval.congestion.rc,
             r.eval.congestion.total_overflow, r.eval.congestion.overflowed_edges,
             r.eval.legality.ok() ? "yes" : "NO");
-  }
+  });
   if (snap) {
     snap->finalize();
     r.snapshot_dir = snap->dir();

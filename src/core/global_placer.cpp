@@ -70,6 +70,11 @@ GlobalPlacer::LevelResult GlobalPlacer::place_level(PlaceProblem& prob,
   cgo.f_rel_tol = 1e-5;
   cgo.max_backtracks = 4;
 
+  // Stage label for numeric-guard diagnostics ("gp/level2", "gp/reheat1").
+  const std::string stage = level_tag >= 0
+                                ? "gp/level" + std::to_string(level_tag)
+                                : "gp/reheat" + std::to_string(-level_tag);
+
   // Wirelength-only warm start (few iterations, λ = 0).
   if (wl_warm_start) {
     wl.set_gamma(g0);
@@ -77,9 +82,9 @@ GlobalPlacer::LevelResult GlobalPlacer::place_level(PlaceProblem& prob,
     std::vector<double> z = obj.pack();
     CgOptions warm = cgo;
     warm.max_iters = opt_.cg_iters / 2;
-    minimize_cg([&](std::span<const double> zz, std::span<double> g) {
+    minimize_cg_guarded([&](std::span<const double> zz, std::span<double> g) {
       return obj.eval(zz, g);
-    }, z, warm);
+    }, z, warm, stage + "/warm");
     obj.unpack(z);
   }
 
@@ -88,17 +93,19 @@ GlobalPlacer::LevelResult GlobalPlacer::place_level(PlaceProblem& prob,
   std::vector<double> recent;  // overflow history for plateau detection
   int outer = 0;
   for (; outer < max_outer; ++outer) {
+    if (watchdog_tripped()) break;
     const double t = static_cast<double>(outer) / std::max(1, max_outer - 1);
     const double gamma = g0 * std::pow(g1 / g0, t);
     wl.set_gamma(gamma);
     obj.set_lambda(lambda);
 
     std::vector<double> z = obj.pack();
-    minimize_cg([&](std::span<const double> zz, std::span<double> g) {
+    minimize_cg_guarded([&](std::span<const double> zz, std::span<double> g) {
       return obj.eval(zz, g);
-    }, z, cgo);
+    }, z, cgo, stage);
     obj.unpack(z);
 
+    ++outers_done_;
     RP_COUNT("gp.outer_iters", 1);
     const double ovfl = dens.overflow(prob);
     GpTracePoint tp;
@@ -151,10 +158,29 @@ GlobalPlacer::LevelResult GlobalPlacer::place_level(PlaceProblem& prob,
   return res;
 }
 
+bool GlobalPlacer::watchdog_tripped() {
+  if (watchdog_fired_) return true;
+  if (opt_.max_gp_iters > 0 && outers_done_ >= opt_.max_gp_iters) {
+    RP_WARN("gp watchdog: --max-gp-iters %d reached; stopping global placement "
+            "early (flow continues with the current positions)", opt_.max_gp_iters);
+    RP_COUNT("guard.watchdog_gp_iters", 1);
+    watchdog_fired_ = true;
+  } else if (opt_.max_seconds > 0 && wall_.seconds() >= opt_.max_seconds) {
+    RP_WARN("gp watchdog: --max-seconds %.1f exceeded; stopping global placement "
+            "early (flow continues with the current positions)", opt_.max_seconds);
+    RP_COUNT("guard.watchdog_seconds", 1);
+    watchdog_fired_ = true;
+  }
+  return watchdog_fired_;
+}
+
 GpStats GlobalPlacer::run(Design& d) {
   RP_ASSERT(d.finalized(), "GlobalPlacer needs a finalized design");
   trace_.clear();
   times_ = StageTimes();
+  wall_.reset();
+  outers_done_ = 0;
+  watchdog_fired_ = false;
   GpStats stats;
   Rng rng(12345);
 
@@ -201,6 +227,7 @@ GpStats GlobalPlacer::run(Design& d) {
     // Routability loop at the finest level.
     if (finest && opt_.routability.enable && opt_.routability.cell_inflation) {
       for (int round = 0; round < opt_.routability.rounds; ++round) {
+        if (watchdog_tripped()) break;
         ScopedStage rt(times_, "routability");
         RP_TRACE_SPAN("gp/routability/round" + std::to_string(round + 1));
         apply_solution(prob, d);

@@ -56,6 +56,13 @@ struct GpOptions {
   double plateau_eps = 0.01;       ///< Stop a level when overflow improves < 1%
   int plateau_window = 3;          ///< over this many consecutive outers.
   double trust_bins = 1.0;         ///< CG trust radius in bin widths.
+  // Watchdogs (0 = off). max_gp_iters caps TOTAL outer iterations across all
+  // levels and reheat rounds (deterministic); max_seconds caps GP wall time
+  // (inherently machine-dependent — never enable it under a determinism
+  // gate). Both degrade gracefully: GP stops spreading and the flow
+  // continues with the positions reached so far.
+  int max_gp_iters = 0;
+  double max_seconds = 0.0;
   ClusterOptions cluster;
   RoutabilityOptions routability;
   bool verbose = false;
@@ -109,9 +116,16 @@ class GlobalPlacer {
                           double stop_overflow, int level_tag, double inflation_mean,
                           bool wl_warm_start, double lambda0, int max_outer);
 
+  /// True once either watchdog (max_gp_iters / max_seconds) has fired;
+  /// logs + counts on the firing call only.
+  bool watchdog_tripped();
+
   GpOptions opt_;
   std::vector<GpTracePoint> trace_;
   StageTimes times_;
+  Timer wall_;              ///< Started by run(); read by the seconds watchdog.
+  int outers_done_ = 0;     ///< Total outer iterations (all levels + reheats).
+  bool watchdog_fired_ = false;
 };
 
 }  // namespace rp

@@ -91,13 +91,26 @@ void write_eval(JsonWriter& w, const EvalResult& e) {
 }  // namespace
 
 std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
-                            const FlowResult& r, int indent) {
+                            const FlowResult& r, int indent,
+                            const RunErrorInfo& err) {
   JsonWriter w(indent);
   w.begin_object();
-  // v2: adds the optional "profile" block (only present with --profile /
-  // RP_PROFILE); every v1 field is unchanged, so v1 consumers keep working.
-  w.kv("schema_version", 2);
+  // v3: adds the optional "parse" block (Bookshelf mode + repair counters)
+  // and the optional "error" block (failed runs); v2 added the optional
+  // "profile" block. Every earlier field is unchanged, so old consumers
+  // keep working.
+  w.kv("schema_version", 3);
   w.kv("tool", "routplace");
+
+  if (err.failed) {
+    w.key("error").begin_object();
+    w.kv("code", err.code);
+    w.kv("message", err.message);
+    w.kv("where", err.where);
+    w.kv("stage", err.stage);
+    w.kv("exit_code", static_cast<std::int64_t>(err.exit_code));
+    w.end_object();
+  }
 
   const BuildInfo& bi = build_info();
   w.key("build").begin_object();
@@ -121,6 +134,27 @@ std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
   w.end_object();
 
   w.kv("mode", meta.mode);
+
+  // Bookshelf input provenance: parse mode + lenient-repair counters (the
+  // telemetry registry is reset when the flow starts, so the parse-time
+  // counters are preserved here, not under "counters").
+  if (!meta.parse_mode.empty()) {
+    w.key("parse").begin_object();
+    w.kv("mode", meta.parse_mode);
+    w.key("repairs").begin_object();
+    w.kv("dangling_pins", static_cast<std::int64_t>(meta.repairs.dangling_pins));
+    w.kv("empty_nets", static_cast<std::int64_t>(meta.repairs.empty_nets));
+    w.kv("duplicate_nodes", static_cast<std::int64_t>(meta.repairs.duplicate_nodes));
+    w.kv("synthesized_net_names",
+         static_cast<std::int64_t>(meta.repairs.synthesized_net_names));
+    w.kv("clamped_fixed_cells",
+         static_cast<std::int64_t>(meta.repairs.clamped_fixed_cells));
+    w.kv("count_mismatches", static_cast<std::int64_t>(meta.repairs.count_mismatches));
+    w.kv("unknown_pl_nodes", static_cast<std::int64_t>(meta.repairs.unknown_pl_nodes));
+    w.kv("total", static_cast<std::int64_t>(meta.repairs.total()));
+    w.end_object();
+    w.end_object();
+  }
 
   // Runtime provenance, not results: everything under "parallel" may differ
   // between two otherwise-identical runs (thread count, pool statistics), so
@@ -207,13 +241,14 @@ std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
 }
 
 bool write_run_report(const std::string& path, const RunReportMeta& meta,
-                      const FlowOptions& opt, const FlowResult& r) {
+                      const FlowOptions& opt, const FlowResult& r,
+                      const RunErrorInfo& err) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     RP_ERROR("run report: cannot open '%s'", path.c_str());
     return false;
   }
-  const std::string doc = run_report_json(meta, opt, r);
+  const std::string doc = run_report_json(meta, opt, r, 2, err);
   const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
   std::fputc('\n', f);
   std::fclose(f);

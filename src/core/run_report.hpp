@@ -16,11 +16,16 @@
 //   gp_trace[...], macro_legal{...}, legal{...}, dp{...},
 //   stage_times{...}, stage_total_sec, counters{...}, gauges{...},
 //   peak_rss_kb, snapshot_dir
+//   v3 additions: optional "parse" block (Bookshelf input: mode + per-repair
+//   counters) and optional "error" block (failed runs only: code, message,
+//   where = failing file:line, stage, exit_code — see util/error.hpp).
 
 #include <cstdint>
 #include <string>
 
 #include "core/flow.hpp"
+#include "db/bookshelf.hpp"
+#include "util/error.hpp"
 
 namespace rp {
 
@@ -36,6 +41,24 @@ struct RunReportMeta {
   double die_w = 0.0;
   double die_h = 0.0;
   double row_height = 0.0;
+  /// Bookshelf provenance ("strict"/"lenient"; empty for generated input —
+  /// empty suppresses the report's "parse" block).
+  std::string parse_mode;
+  ParseRepairs repairs;           ///< Lenient-mode repair counters.
+};
+
+/// A failed run's classification for the report's "error" block.
+struct RunErrorInfo {
+  bool failed = false;   ///< False: no "error" block is written.
+  std::string code;      ///< "ParseError" | "ValidationError" | ...
+  std::string message;
+  std::string where;     ///< Failing file:line (input or source).
+  std::string stage;     ///< Pipeline stage ("parse", "gp/level2", ...).
+  int exit_code = 0;
+
+  static RunErrorInfo from(const Error& e) {
+    return {true, e.code_name(), e.message(), e.where(), e.stage(), e.exit_code()};
+  }
 };
 
 /// Fill a RunReportMeta's design-shape fields from a Design.
@@ -44,10 +67,12 @@ RunReportMeta make_report_meta(const Design& d, const std::string& source,
 
 /// Serialize the run report document (pretty-printed when indent > 0).
 std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
-                            const FlowResult& r, int indent = 2);
+                            const FlowResult& r, int indent = 2,
+                            const RunErrorInfo& err = {});
 
 /// Write run_report_json() to a file; returns false (and logs) on failure.
 bool write_run_report(const std::string& path, const RunReportMeta& meta,
-                      const FlowOptions& opt, const FlowResult& r);
+                      const FlowOptions& opt, const FlowResult& r,
+                      const RunErrorInfo& err = {});
 
 }  // namespace rp

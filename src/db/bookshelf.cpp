@@ -1,12 +1,15 @@
 #include "db/bookshelf.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <optional>
-#include <stdexcept>
+#include <unordered_set>
 
+#include "util/error.hpp"
 #include "util/logger.hpp"
 #include "util/str.hpp"
+#include "util/telemetry.hpp"
 
 namespace fs = std::filesystem;
 
@@ -14,12 +17,24 @@ namespace rp {
 
 namespace {
 
+/// Mode + repair-counter plumbing threaded through the per-file readers.
+struct ParseCtx {
+  ParseMode mode = ParseMode::Strict;
+  ParseRepairs* rep = nullptr;
+
+  bool lenient() const { return mode == ParseMode::Lenient; }
+  void count(long ParseRepairs::* field) const {
+    if (rep != nullptr) (rep->*field) += 1;
+  }
+};
+
 /// Line-oriented tokenizer over a Bookshelf file: skips comments ('#'),
 /// blank lines, and the "UCLA <kind> 1.0" header; reports file:line in errors.
 class BsReader {
  public:
   explicit BsReader(const fs::path& file) : file_(file), in_(file) {
-    if (!in_) throw std::runtime_error("cannot open '" + file.string() + "'");
+    if (!in_)
+      throw Error(ErrorCode::ResourceError, "cannot open '" + file.string() + "'");
   }
 
   /// Next meaningful line's tokens, or nullopt at EOF.
@@ -38,7 +53,25 @@ class BsReader {
   }
 
   [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error(file_.string() + ":" + std::to_string(lineno_) + ": " + why);
+    throw Error(ErrorCode::ParseError, why, where(), "parse");
+  }
+
+  /// "file:line" of the line last returned by next().
+  std::string where() const {
+    return file_.string() + ":" + std::to_string(lineno_);
+  }
+
+  /// Declared-vs-parsed count verification (NumNodes/NumNets/NumPins...).
+  /// Strict: ParseError; lenient: warn + count_mismatches repair.
+  void check_declared(const ParseCtx& ctx, const char* what, long declared,
+                      long parsed) const {
+    if (declared < 0 || declared == parsed) return;
+    const std::string msg = std::string(what) + "=" + std::to_string(declared) +
+                            " declared but " + std::to_string(parsed) + " parsed";
+    if (!ctx.lenient()) fail(msg);
+    RP_WARN("%s: %s (lenient: continuing)", where().c_str(), msg.c_str());
+    RP_COUNT("parse.repair.count_mismatches", 1);
+    ctx.count(&ParseRepairs::count_mismatches);
   }
 
   int lineno() const { return lineno_; }
@@ -49,7 +82,6 @@ class BsReader {
   int lineno_ = 0;
 };
 
-/// Key-value lookup in tokenized "Key : v1 v2" lines.
 long expect_long(BsReader& r, const std::vector<std::string>& toks, std::size_t i) {
   if (i >= toks.size()) r.fail("missing numeric field");
   try {
@@ -59,13 +91,19 @@ long expect_long(BsReader& r, const std::vector<std::string>& toks, std::size_t 
   }
 }
 
+/// Like to_double but with file:line context and a finiteness guard: no
+/// Bookshelf field legitimately holds NaN/Inf, and letting one through here
+/// is how non-finite values used to leak into the whole numeric pipeline.
 double expect_double(BsReader& r, const std::vector<std::string>& toks, std::size_t i) {
   if (i >= toks.size()) r.fail("missing numeric field");
+  double v = 0.0;
   try {
-    return to_double(toks[i]);
+    v = to_double(toks[i]);
   } catch (const std::exception& e) {
     r.fail(e.what());
   }
+  if (!std::isfinite(v)) r.fail("non-finite value '" + toks[i] + "'");
+  return v;
 }
 
 struct NodeRec {
@@ -74,15 +112,18 @@ struct NodeRec {
   bool terminal = false;
 };
 
-std::vector<NodeRec> read_nodes(const fs::path& file) {
+std::vector<NodeRec> read_nodes(const fs::path& file, const ParseCtx& ctx) {
   BsReader r(file);
   std::vector<NodeRec> out;
+  std::unordered_set<std::string> seen;
   long declared = -1;
+  long parsed = 0;  // includes duplicates dropped by the lenient repair
   while (auto toks = r.next()) {
     auto& t = *toks;
     if (iequals(t[0], "NumNodes")) {
       declared = expect_long(r, t, 1);
-      out.reserve(static_cast<std::size_t>(declared));
+      if (declared < 0) r.fail("negative NumNodes");
+      out.reserve(static_cast<std::size_t>(std::min(declared, 1L << 20)));
     } else if (iequals(t[0], "NumTerminals")) {
       // informative only
     } else {
@@ -90,34 +131,111 @@ std::vector<NodeRec> read_nodes(const fs::path& file) {
       n.name = t[0];
       n.w = expect_double(r, t, 1);
       n.h = expect_double(r, t, 2);
+      if (n.w < 0 || n.h < 0) r.fail("node '" + n.name + "' has negative size");
       if (t.size() > 3 && (iequals(t[3], "terminal") || iequals(t[3], "terminal_NI")))
         n.terminal = true;
+      ++parsed;
+      if (!seen.insert(n.name).second) {
+        // Duplicate definition: find_cell would later resolve the name to an
+        // arbitrary one of them, silently mis-wiring every net that uses it.
+        if (!ctx.lenient()) r.fail("duplicate node '" + n.name + "'");
+        RP_WARN("%s: duplicate node '%s' (lenient: first definition wins)",
+                r.where().c_str(), n.name.c_str());
+        RP_COUNT("parse.repair.duplicate_nodes", 1);
+        ctx.count(&ParseRepairs::duplicate_nodes);
+        continue;
+      }
       out.push_back(std::move(n));
     }
   }
-  if (declared >= 0 && declared != static_cast<long>(out.size()))
-    throw std::runtime_error(file.string() + ": NumNodes=" + std::to_string(declared) +
-                             " but parsed " + std::to_string(out.size()));
+  r.check_declared(ctx, "NumNodes", declared, parsed);
   return out;
 }
 
-void read_nets_into(Design& d, const fs::path& file) {
+void read_nets_into(Design& d, const fs::path& file, const ParseCtx& ctx) {
   BsReader r(file);
   long remaining_pins_in_net = 0;
   NetId cur = kInvalidId;
+  std::string cur_name;
+  long declared_nets = -1, declared_pins = -1;
+  long seen_nets = 0, seen_pins = 0;  // as declared in the file, pre-repair
+
+  const auto close_net = [&]() {
+    if (cur == kInvalidId || remaining_pins_in_net <= 0) return;
+    const std::string msg = "net '" + cur_name + "': " +
+                            std::to_string(remaining_pins_in_net) +
+                            " fewer pin(s) than its declared NetDegree";
+    if (!ctx.lenient()) r.fail(msg);
+    RP_WARN("%s: %s (lenient: continuing)", r.where().c_str(), msg.c_str());
+    RP_COUNT("parse.repair.count_mismatches", 1);
+    ctx.count(&ParseRepairs::count_mismatches);
+  };
+
   while (auto toks = r.next()) {
     auto& t = *toks;
-    if (iequals(t[0], "NumNets") || iequals(t[0], "NumPins")) continue;
-    if (iequals(t[0], "NetDegree")) {
-      remaining_pins_in_net = expect_long(r, t, 1);
-      const std::string name = t.size() > 2 ? t[2] : ("net" + std::to_string(d.num_nets()));
-      cur = d.add_net(name);
+    if (iequals(t[0], "NumNets")) {
+      declared_nets = expect_long(r, t, 1);
+      if (declared_nets < 0) r.fail("negative NumNets");
       continue;
     }
-    if (cur == kInvalidId) r.fail("pin line before any NetDegree");
-    if (remaining_pins_in_net <= 0) r.fail("more pins than declared NetDegree");
+    if (iequals(t[0], "NumPins")) {
+      declared_pins = expect_long(r, t, 1);
+      if (declared_pins < 0) r.fail("negative NumPins");
+      continue;
+    }
+    if (iequals(t[0], "NetDegree")) {
+      close_net();
+      const long degree = expect_long(r, t, 1);
+      if (degree < 0) r.fail("negative NetDegree");
+      ++seen_nets;
+      if (degree == 0) {
+        // A pinless net is legal-looking junk: it contributes HPWL 0 and
+        // silently skews every per-net average downstream.
+        if (!ctx.lenient()) r.fail("NetDegree 0 (pinless net)");
+        RP_WARN("%s: NetDegree 0 (lenient: net dropped)", r.where().c_str());
+        RP_COUNT("parse.repair.empty_nets", 1);
+        ctx.count(&ParseRepairs::empty_nets);
+        remaining_pins_in_net = 0;
+        cur = kInvalidId;
+        continue;
+      }
+      remaining_pins_in_net = degree;
+      std::string name;
+      if (t.size() > 2) {
+        name = t[2];
+      } else {
+        if (!ctx.lenient()) r.fail("NetDegree without a net name");
+        name = "net" + std::to_string(d.num_nets());
+        RP_COUNT("parse.repair.synthesized_net_names", 1);
+        ctx.count(&ParseRepairs::synthesized_net_names);
+      }
+      if (d.find_net(name) != kInvalidId) {
+        if (!ctx.lenient()) r.fail("duplicate net '" + name + "'");
+        name += "#dup" + std::to_string(d.num_nets());
+        RP_COUNT("parse.repair.synthesized_net_names", 1);
+        ctx.count(&ParseRepairs::synthesized_net_names);
+      }
+      cur_name = name;
+      cur = d.add_net(std::move(name));
+      continue;
+    }
+    if (cur == kInvalidId && !(ctx.lenient() && remaining_pins_in_net == 0))
+      r.fail("pin line before any NetDegree");
+    if (remaining_pins_in_net <= 0) {
+      if (cur == kInvalidId) continue;  // lenient: pins of a dropped net
+      r.fail("more pins than declared NetDegree");
+    }
+    ++seen_pins;
+    --remaining_pins_in_net;
     const CellId c = d.find_cell(t[0]);
-    if (c == kInvalidId) r.fail("pin references unknown node '" + t[0] + "'");
+    if (c == kInvalidId) {
+      if (!ctx.lenient()) r.fail("pin references unknown node '" + t[0] + "'");
+      RP_WARN("%s: pin references unknown node '%s' (lenient: pin dropped)",
+              r.where().c_str(), t[0].c_str());
+      RP_COUNT("parse.repair.dangling_pins", 1);
+      ctx.count(&ParseRepairs::dangling_pins);
+      continue;
+    }
     Point off{};
     // "<node> <dir> : <dx> <dy>" -> tokens {node, dir, dx, dy} (':' eaten).
     if (t.size() >= 4) {
@@ -125,11 +243,13 @@ void read_nets_into(Design& d, const fs::path& file) {
       off.y = expect_double(r, t, 3);
     }
     d.connect(c, cur, off);
-    --remaining_pins_in_net;
   }
+  close_net();
+  r.check_declared(ctx, "NumNets", declared_nets, seen_nets);
+  r.check_declared(ctx, "NumPins", declared_pins, seen_pins);
 }
 
-void read_wts_into(Design& d, const fs::path& file) {
+void read_wts_into(Design& d, const fs::path& file, const ParseCtx& ctx) {
   BsReader r(file);
   while (auto toks = r.next()) {
     auto& t = *toks;
@@ -137,9 +257,10 @@ void read_wts_into(Design& d, const fs::path& file) {
     const NetId n = d.find_net(t[0]);
     if (n != kInvalidId) d.net(n).weight = expect_double(r, t, 1);
   }
+  (void)ctx;
 }
 
-void read_scl_into(Design& d, const fs::path& file) {
+void read_scl_into(Design& d, const fs::path& file, const ParseCtx& ctx) {
   BsReader r(file);
   std::optional<Row> cur;
   while (auto toks = r.next()) {
@@ -161,17 +282,20 @@ void read_scl_into(Design& d, const fs::path& file) {
       cur->lx = expect_double(r, t, 1);
       if (t.size() >= 4 && iequals(t[2], "NumSites")) {
         const double nsites = expect_double(r, t, 3);
+        if (nsites < 0) r.fail("negative NumSites");
         cur->hx = cur->lx + nsites * (cur->site_w > 0 ? cur->site_w : 1.0);
       }
     } else if (iequals(t[0], "End")) {
       if (cur->height <= 0) r.fail("row with no Height");
+      if (!std::isfinite(cur->hx) || cur->hx < cur->lx) r.fail("row extent overflows");
       d.add_row(*cur);
       cur.reset();
     }
   }
+  (void)ctx;
 }
 
-void read_route_into(Design& d, const fs::path& file) {
+void read_route_into(Design& d, const fs::path& file, const ParseCtx& ctx) {
   BsReader r(file);
   RouteGridInfo rg;
   int nlayers = 1;
@@ -183,13 +307,13 @@ void read_route_into(Design& d, const fs::path& file) {
       rg.ny = static_cast<int>(expect_long(r, t, 2));
       if (t.size() > 3) nlayers = static_cast<int>(expect_long(r, t, 3));
     } else if (iequals(t[0], "VerticalCapacity")) {
-      for (std::size_t i = 1; i < t.size(); ++i) vcap.push_back(to_double(t[i]));
+      for (std::size_t i = 1; i < t.size(); ++i) vcap.push_back(expect_double(r, t, i));
     } else if (iequals(t[0], "HorizontalCapacity")) {
-      for (std::size_t i = 1; i < t.size(); ++i) hcap.push_back(to_double(t[i]));
+      for (std::size_t i = 1; i < t.size(); ++i) hcap.push_back(expect_double(r, t, i));
     } else if (iequals(t[0], "MinWireWidth")) {
-      for (std::size_t i = 1; i < t.size(); ++i) wire_w.push_back(to_double(t[i]));
+      for (std::size_t i = 1; i < t.size(); ++i) wire_w.push_back(expect_double(r, t, i));
     } else if (iequals(t[0], "MinWireSpacing")) {
-      for (std::size_t i = 1; i < t.size(); ++i) wire_sp.push_back(to_double(t[i]));
+      for (std::size_t i = 1; i < t.size(); ++i) wire_sp.push_back(expect_double(r, t, i));
     } else if (iequals(t[0], "BlockagePorosity")) {
       rg.macro_porosity = expect_double(r, t, 1);
     }
@@ -197,6 +321,7 @@ void read_route_into(Design& d, const fs::path& file) {
     // intentionally ignored: the placer derives tile geometry from the die.
   }
   (void)nlayers;
+  (void)ctx;
   // Aggregate per-layer track capacities into one 2-D capacity per direction.
   // Capacity lists are in routing tracks already (contest convention divides
   // raw capacity by wire pitch; if MinWireWidth/Spacing are given, scale).
@@ -212,11 +337,55 @@ void read_route_into(Design& d, const fs::path& file) {
   if (rg.nx > 0 && rg.ny > 0 && (h > 0 || v > 0)) d.set_route_grid(rg);
 }
 
+void read_pl_into_ctx(Design& d, const fs::path& pl_file, const ParseCtx& ctx) {
+  BsReader r(pl_file);
+  while (auto toks = r.next()) {
+    auto& t = *toks;
+    if (t.size() < 3) continue;
+    const CellId c = d.find_cell(t[0]);
+    if (c == kInvalidId) {
+      if (!ctx.lenient()) r.fail("pl references unknown node '" + t[0] + "'");
+      RP_COUNT("parse.repair.unknown_pl_nodes", 1);
+      ctx.count(&ParseRepairs::unknown_pl_nodes);
+      continue;
+    }
+    Cell& k = d.cell(c);
+    k.pos.x = expect_double(r, t, 1);
+    k.pos.y = expect_double(r, t, 2);
+    for (std::size_t i = 3; i < t.size(); ++i) {
+      if (iequals(t[i], "/FIXED") || iequals(t[i], "/FIXED_NI")) k.fixed = true;
+    }
+  }
+}
+
+/// Lenient repair: a fixed non-terminal cell with zero overlap with the die
+/// contributes nothing to fixed capacity yet anchors its nets off-core —
+/// almost always a corrupt .pl coordinate. Clamp it onto the die. Terminals
+/// (IO pads) legitimately live outside the die and are left alone.
+void clamp_out_of_die_fixed(Design& d, const Rect& die, const ParseCtx& ctx) {
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    Cell& k = d.cell(c);
+    if (!k.fixed || k.kind == CellKind::Terminal) continue;
+    const Rect rct = d.cell_rect(c);
+    if (rct.overlap_area(die) > 0) continue;
+    k.pos.x = std::clamp(k.pos.x, die.lx, std::max(die.lx, die.hx - k.w));
+    k.pos.y = std::clamp(k.pos.y, die.ly, std::max(die.ly, die.hy - k.h));
+    RP_WARN("lenient: fixed cell '%s' was entirely outside the die; clamped to "
+            "(%.1f, %.1f)", k.name.c_str(), k.pos.x, k.pos.y);
+    RP_COUNT("parse.repair.clamped_fixed_cells", 1);
+    ctx.count(&ParseRepairs::clamped_fixed_cells);
+  }
+}
+
 }  // namespace
 
-Design read_bookshelf(const fs::path& aux_file) {
+Design read_bookshelf(const fs::path& aux_file, const BookshelfOptions& opt) {
+  ParseCtx ctx{opt.mode, opt.repairs};
+  if (ctx.rep != nullptr) *ctx.rep = ParseRepairs{};
+
   std::ifstream aux(aux_file);
-  if (!aux) throw std::runtime_error("cannot open '" + aux_file.string() + "'");
+  if (!aux)
+    throw Error(ErrorCode::ResourceError, "cannot open '" + aux_file.string() + "'");
   std::string line, content;
   while (std::getline(aux, line)) {
     const auto t = trim(line);
@@ -237,7 +406,8 @@ Design read_bookshelf(const fs::path& aux_file) {
     else if (ends_with(tok, ".route")) route = tok;
   }
   if (nodes.empty() || nets.empty() || pl.empty() || scl.empty())
-    throw std::runtime_error(aux_file.string() + ": missing required file references");
+    throw Error(ErrorCode::ParseError, "missing required file references",
+                aux_file.string() + ":1", "parse");
   const fs::path dir = aux_file.parent_path();
 
   Design d;
@@ -245,21 +415,22 @@ Design read_bookshelf(const fs::path& aux_file) {
 
   // Rows first so macro-vs-stdcell classification can use the row height.
   Design rows_probe;  // temporary: rows only
-  read_scl_into(rows_probe, dir / scl);
+  read_scl_into(rows_probe, dir / scl, ctx);
   double row_h = 0.0;
   for (const Row& r : rows_probe.rows()) row_h = std::max(row_h, r.height);
-  if (row_h <= 0) throw std::runtime_error(scl.string() + ": no usable rows");
+  if (row_h <= 0)
+    throw Error(ErrorCode::ParseError, "no usable rows", (dir / scl).string(), "parse");
 
-  for (const NodeRec& n : read_nodes(dir / nodes)) {
+  for (const NodeRec& n : read_nodes(dir / nodes, ctx)) {
     CellKind kind = CellKind::StdCell;
     if (n.terminal) kind = CellKind::Terminal;
     else if (n.h > row_h * 1.5) kind = CellKind::Macro;
     d.add_cell(n.name, n.w, n.h, kind);
   }
-  read_nets_into(d, dir / nets);
-  if (!wts.empty() && fs::exists(dir / wts)) read_wts_into(d, dir / wts);
-  read_scl_into(d, dir / scl);
-  read_pl_into(d, dir / pl);
+  read_nets_into(d, dir / nets, ctx);
+  if (!wts.empty() && fs::exists(dir / wts)) read_wts_into(d, dir / wts, ctx);
+  read_scl_into(d, dir / scl, ctx);
+  read_pl_into_ctx(d, dir / pl, ctx);
 
   // Die = bounding box of rows (the core area).
   Rect die = Rect::empty_bbox();
@@ -267,34 +438,29 @@ Design read_bookshelf(const fs::path& aux_file) {
     die = die.cover(Rect{r.lx, r.y, r.hx, r.y + r.height});
   d.set_die(die);
 
-  if (!route.empty() && fs::exists(dir / route)) read_route_into(d, dir / route);
+  if (ctx.lenient()) clamp_out_of_die_fixed(d, die, ctx);
+
+  if (!route.empty() && fs::exists(dir / route)) read_route_into(d, dir / route, ctx);
 
   d.finalize();
+  if (ctx.rep != nullptr && ctx.rep->total() > 0)
+    RP_WARN("lenient parse of '%s' made %ld repair(s)", d.name().c_str(),
+            ctx.rep->total());
   RP_INFO("read bookshelf '%s': %d cells (%d macros), %d nets, %d rows, util %.1f%%",
           d.name().c_str(), d.num_cells(), d.num_macros(), d.num_nets(), d.num_rows(),
           100.0 * d.utilization());
   return d;
 }
 
-void read_pl_into(Design& d, const fs::path& pl_file) {
-  BsReader r(pl_file);
-  while (auto toks = r.next()) {
-    auto& t = *toks;
-    if (t.size() < 3) continue;
-    const CellId c = d.find_cell(t[0]);
-    if (c == kInvalidId) r.fail("pl references unknown node '" + t[0] + "'");
-    Cell& k = d.cell(c);
-    k.pos.x = expect_double(r, t, 1);
-    k.pos.y = expect_double(r, t, 2);
-    for (std::size_t i = 3; i < t.size(); ++i) {
-      if (iequals(t[i], "/FIXED") || iequals(t[i], "/FIXED_NI")) k.fixed = true;
-    }
-  }
+void read_pl_into(Design& d, const fs::path& pl_file, const BookshelfOptions& opt) {
+  ParseCtx ctx{opt.mode, opt.repairs};
+  read_pl_into_ctx(d, pl_file, ctx);
 }
 
 void write_pl(const Design& d, const fs::path& pl_file) {
   std::ofstream out(pl_file);
-  if (!out) throw std::runtime_error("cannot write '" + pl_file.string() + "'");
+  if (!out)
+    throw Error(ErrorCode::ResourceError, "cannot write '" + pl_file.string() + "'");
   out << std::setprecision(17);
   out << "UCLA pl 1.0\n# generated by routplace\n\n";
   for (CellId c = 0; c < d.num_cells(); ++c) {

@@ -12,6 +12,18 @@
 // The reader produces a finalized Design; macros are recognized as movable
 // nodes taller than one row. The writer emits a directory of files readable
 // by this reader (round-trip tested) and by contest evaluators.
+//
+// Two parse modes (real contest dumps are full of irregularities):
+//   Strict  (default) — any malformed construct raises rp::Error with code
+//           ParseError carrying the input `file:line`.
+//   Lenient — repairable irregularities are fixed in place and counted:
+//           dangling pins dropped, empty (degree-0) nets dropped, duplicate
+//           node definitions ignored (first wins), out-of-die fixed cells
+//           clamped onto the die, missing net names synthesized, declared
+//           count mismatches downgraded to warnings. Each repair bumps a
+//           `parse.repair.*` telemetry counter and the ParseRepairs struct.
+//           Irreparable damage (non-numeric fields, truncated records,
+//           unusable .scl) still raises ParseError.
 
 #include <filesystem>
 #include <string>
@@ -20,9 +32,40 @@
 
 namespace rp {
 
-/// Parse the benchmark rooted at an .aux file. Throws std::runtime_error
-/// with file/line context on malformed input.
-Design read_bookshelf(const std::filesystem::path& aux_file);
+enum class ParseMode {
+  Strict,   ///< Reject malformed constructs with ParseError.
+  Lenient,  ///< Repair-and-warn where possible; count every repair.
+};
+
+/// Per-repair counters filled in lenient mode (all zero after a strict
+/// parse: strict throws where lenient repairs).
+struct ParseRepairs {
+  long dangling_pins = 0;       ///< Pins referencing unknown nodes, dropped.
+  long empty_nets = 0;          ///< NetDegree 0 nets, dropped.
+  long duplicate_nodes = 0;     ///< Re-defined node names, first wins.
+  long synthesized_net_names = 0;  ///< NetDegree lines without a name.
+  long clamped_fixed_cells = 0; ///< Fixed cells moved back onto the die.
+  long count_mismatches = 0;    ///< Declared NumNodes/NumNets/NumPins wrong.
+  long unknown_pl_nodes = 0;    ///< .pl lines for nodes never declared.
+
+  long total() const {
+    return dangling_pins + empty_nets + duplicate_nodes + synthesized_net_names +
+           clamped_fixed_cells + count_mismatches + unknown_pl_nodes;
+  }
+};
+
+struct BookshelfOptions {
+  ParseMode mode = ParseMode::Strict;
+  /// Optional out-param: repair counters from this parse (lenient mode).
+  ParseRepairs* repairs = nullptr;
+};
+
+/// Parse the benchmark rooted at an .aux file. Throws rp::Error (code
+/// ParseError/ValidationError/ResourceError) with file:line context on
+/// malformed input; in lenient mode repairable damage is fixed and counted
+/// instead (see BookshelfOptions).
+Design read_bookshelf(const std::filesystem::path& aux_file,
+                      const BookshelfOptions& opt = {});
 
 /// Write `design` as <dir>/<base>.aux + .nodes/.nets/.pl/.scl (+ .wts, and
 /// .route if the design has a routing grid). Creates `dir` if needed.
@@ -34,6 +77,7 @@ void write_pl(const Design& d, const std::filesystem::path& pl_file);
 
 /// Load cell positions from a .pl into an already-constructed design
 /// (names must match). Fixed flags in the file are ignored.
-void read_pl_into(Design& d, const std::filesystem::path& pl_file);
+void read_pl_into(Design& d, const std::filesystem::path& pl_file,
+                  const BookshelfOptions& opt = {});
 
 }  // namespace rp

@@ -4,13 +4,14 @@
 #include <stdexcept>
 
 #include "util/assert.hpp"
+#include "util/error.hpp"
 #include "util/logger.hpp"
 
 namespace rp {
 
 CellId Design::add_cell(std::string name, double w, double h, CellKind kind) {
   RP_ASSERT(!finalized_, "add_cell after finalize");
-  if (w < 0 || h < 0) throw std::runtime_error("cell '" + name + "' has negative size");
+  if (w < 0 || h < 0) RP_THROW(ErrorCode::ValidationError, "cell '" + name + "' has negative size");
   const CellId id = num_cells();
   Cell c;
   c.name = std::move(name);
@@ -19,7 +20,7 @@ CellId Design::add_cell(std::string name, double w, double h, CellKind kind) {
   c.kind = kind;
   c.fixed = (kind == CellKind::Terminal);
   if (!cell_by_name_.emplace(c.name, id).second)
-    throw std::runtime_error("duplicate cell name '" + c.name + "'");
+    RP_THROW(ErrorCode::ValidationError, "duplicate cell name '" + c.name + "'");
   cells_.push_back(std::move(c));
   return id;
 }
@@ -31,15 +32,15 @@ NetId Design::add_net(std::string name, double weight) {
   n.name = std::move(name);
   n.weight = weight;
   if (!net_by_name_.emplace(n.name, id).second)
-    throw std::runtime_error("duplicate net name '" + n.name + "'");
+    RP_THROW(ErrorCode::ValidationError, "duplicate net name '" + n.name + "'");
   nets_.push_back(std::move(n));
   return id;
 }
 
 PinId Design::connect(CellId c, NetId n, Point offset) {
   RP_ASSERT(!finalized_, "connect after finalize");
-  if (c < 0 || c >= num_cells()) throw std::runtime_error("connect: bad cell id");
-  if (n < 0 || n >= num_nets()) throw std::runtime_error("connect: bad net id");
+  if (c < 0 || c >= num_cells()) RP_THROW(ErrorCode::ValidationError, "connect: bad cell id");
+  if (n < 0 || n >= num_nets()) RP_THROW(ErrorCode::ValidationError, "connect: bad net id");
   const PinId id = num_pins();
   pins_.push_back(Pin{c, n, offset});
   cells_[c].pins.push_back(id);
@@ -96,24 +97,24 @@ double Design::utilization() const {
 void Design::finalize() {
   if (finalized_) return;
   if (die_.width() <= 0 || die_.height() <= 0)
-    throw std::runtime_error("finalize: die area is degenerate");
+    RP_THROW(ErrorCode::ValidationError, "finalize: die area is degenerate");
 
   if (!hier_built_) build_hierarchy_from_names();
 
   for (CellId c = 0; c < num_cells(); ++c) {
     const Cell& k = cells_[c];
     if (k.region != kInvalidId && k.region >= num_regions())
-      throw std::runtime_error("cell '" + k.name + "' references bad region");
+      RP_THROW(ErrorCode::ValidationError, "cell '" + k.name + "' references bad region");
   }
   refresh_derived();
 
   row_height_ = 0.0;
   for (const Row& r : rows_) {
-    if (r.height <= 0) throw std::runtime_error("finalize: row with non-positive height");
+    if (r.height <= 0) RP_THROW(ErrorCode::ValidationError, "finalize: row with non-positive height");
     if (row_height_ == 0.0) {
       row_height_ = r.height;
     } else if (std::abs(row_height_ - r.height) > 1e-9) {
-      throw std::runtime_error("finalize: mixed row heights are not supported");
+      RP_THROW(ErrorCode::ValidationError, "finalize: mixed row heights are not supported");
     }
   }
   if (rows_.empty()) {
@@ -127,9 +128,9 @@ void Design::finalize() {
     RP_DEBUG("finalize: synthesized %d rows of height %.2f", num_rows(), rh);
   }
 
-  if (movable_.empty()) throw std::runtime_error("finalize: no movable cells");
+  if (movable_.empty()) RP_THROW(ErrorCode::ValidationError, "finalize: no movable cells");
   if (utilization() > 1.0 + 1e-9)
-    throw std::runtime_error("finalize: utilization exceeds 1.0; design cannot be placed");
+    RP_THROW(ErrorCode::ValidationError, "finalize: utilization exceeds 1.0; design cannot be placed");
 
   finalized_ = true;
 }

@@ -72,21 +72,37 @@ LegalityReport check_legality(const Design& d, const LegalityOptions& opt) {
     }
   }
 
-  // Row alignment for standard cells.
+  // Row alignment for standard cells. Each cell is checked against ITS row
+  // (the one whose bottom edge is nearest its y), not row 0: rows may have
+  // non-uniform origins and site widths, and row(0)'s geometry said nothing
+  // about a cell sitting in row 37.
   if (opt.check_rows && d.num_rows() > 0) {
-    const double rh = d.row_height();
-    const double y0 = d.row(0).y;
+    // Rows sorted by bottom edge for nearest-row binary search.
+    std::vector<int> by_y(static_cast<std::size_t>(d.num_rows()));
+    for (int i = 0; i < d.num_rows(); ++i) by_y[static_cast<std::size_t>(i)] = i;
+    std::sort(by_y.begin(), by_y.end(),
+              [&](int a, int b) { return d.row(a).y < d.row(b).y; });
+    const auto nearest_row = [&](double y) -> const Row& {
+      auto it = std::lower_bound(by_y.begin(), by_y.end(), y,
+                                 [&](int r, double yy) { return d.row(r).y < yy; });
+      if (it == by_y.end()) return d.row(by_y.back());
+      if (it == by_y.begin()) return d.row(*it);
+      const Row& above = d.row(*it);
+      const Row& below = d.row(*(it - 1));
+      return (y - below.y) <= (above.y - y) ? below : above;
+    };
     for (const CellId c : d.movable_cells()) {
       const Cell& k = d.cell(c);
       if (k.kind != CellKind::StdCell) continue;
-      const double rel = (k.pos.y - y0) / rh;
-      if (std::abs(rel - std::round(rel)) * rh > opt.tol) {
+      const Row& row = nearest_row(k.pos.y);
+      if (row.height <= 0) continue;  // degenerate row: alignment undefined
+      if (std::abs(k.pos.y - row.y) > opt.tol) {
         ++rep.row_misaligned;
         note("cell '" + k.name + "' not on a row boundary");
       }
-      if (opt.check_sites) {
-        const double sw = d.row(0).site_w;
-        const double relx = (k.pos.x - d.row(0).lx) / sw;
+      if (opt.check_sites && row.site_w > 0) {
+        const double sw = row.site_w;
+        const double relx = (k.pos.x - row.lx) / sw;
         if (std::abs(relx - std::round(relx)) * sw > opt.tol) {
           ++rep.site_misaligned;
           note("cell '" + k.name + "' not on a site boundary");

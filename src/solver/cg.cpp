@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/error.hpp"
+#include "util/logger.hpp"
 #include "util/parallel.hpp"
 #include "util/profiler.hpp"
 #include "util/telemetry.hpp"
@@ -128,6 +130,52 @@ CgResult minimize_cg(const CgObjective& f, std::vector<double>& z, const CgOptio
   RP_COUNT("solver.cg_calls", 1);
   RP_COUNT("solver.cg_iters", res.iters);
   return res;
+}
+
+namespace {
+
+bool all_finite(const std::vector<double>& v) {
+  // Deterministic early-exit scan on the calling thread; the guard must not
+  // perturb pool chunking (results are compared bitwise across thread counts).
+  for (const double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace
+
+CgResult minimize_cg_guarded(const CgObjective& f, std::vector<double>& z,
+                             const CgOptions& opt, const std::string& stage,
+                             GuardStats* guard) {
+  const std::vector<double> last_good = z;  // snapshot before the solve
+  CgResult res = minimize_cg(f, z, opt);
+  if (all_finite(z) && std::isfinite(res.f)) {
+    if (guard != nullptr) *guard = GuardStats{};
+    return res;
+  }
+
+  // Graceful degradation: restore the last-good coordinates, halve the step
+  // (trust radius), and give the solve one more chance.
+  RP_WARN("numeric guard [%s]: non-finite coordinates after CG; restoring "
+          "last-good state and retrying with halved trust radius",
+          stage.c_str());
+  RP_COUNT("guard.nonfinite_detected", 1);
+  RP_COUNT("guard.retries", 1);
+  z = last_good;
+  if (guard != nullptr) {
+    guard->retries = 1;
+    guard->degraded = true;
+  }
+  CgOptions degraded = opt;
+  degraded.trust_radius = opt.trust_radius * 0.5;
+  res = minimize_cg(f, z, degraded);
+  if (all_finite(z) && std::isfinite(res.f)) return res;
+
+  z = last_good;  // leave the caller with usable coordinates
+  RP_COUNT("guard.aborts", 1);
+  throw Error(ErrorCode::NumericError,
+              "non-finite coordinates/objective survived restore-and-retry",
+              "cg.cpp:guard", stage);
 }
 
 }  // namespace rp

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace rp {
@@ -34,5 +35,20 @@ using CgObjective = std::function<double(std::span<const double>, std::span<doub
 
 /// Minimize starting from z (updated in place).
 CgResult minimize_cg(const CgObjective& f, std::vector<double>& z, const CgOptions& opt);
+
+/// Outcome of the numeric guard wrapped around one minimize_cg call.
+struct GuardStats {
+  int retries = 0;       ///< Restore-and-retry cycles taken (0 or 1).
+  bool degraded = false; ///< True if the accepted solve used a halved step.
+};
+
+/// minimize_cg with numeric guard rails: if the solve leaves any NaN/Inf in
+/// z, restore the last-good z, halve the trust radius, and retry ONCE; a
+/// second non-finite result restores z and throws rp::Error(NumericError).
+/// `stage` names the caller for the error's stage field ("gp/level2", ...).
+/// Bitwise-deterministic: the guard only inspects values the solve produced.
+CgResult minimize_cg_guarded(const CgObjective& f, std::vector<double>& z,
+                             const CgOptions& opt, const std::string& stage,
+                             GuardStats* guard = nullptr);
 
 }  // namespace rp

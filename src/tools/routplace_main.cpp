@@ -12,12 +12,19 @@
 #include <vector>
 
 #include "core/cli.hpp"
+#include "util/error.hpp"
 
 int main(int argc, char** argv) {
   try {
     const std::vector<std::string> args(argv + 1, argv + argc);
     return rp::run_cli(rp::parse_cli_args(args));
+  } catch (const rp::Error& e) {
+    // Classified failure: exit code follows the documented contract
+    // (3 parse, 4 validation, 5 numeric, 6 resource — see util/error.hpp).
+    std::fprintf(stderr, "routplace: %s\n", e.what());
+    return e.exit_code();
   } catch (const std::exception& e) {
+    // Unclassified (e.g. bad command line): usage error.
     std::fprintf(stderr, "routplace: %s\n", e.what());
     return 2;
   }

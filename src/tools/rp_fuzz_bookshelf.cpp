@@ -1,0 +1,259 @@
+// Deterministic fuzz harness for the Bookshelf reader.
+//
+// Contract under test: for ANY input bytes, read_bookshelf() either returns a
+// finalized Design or throws a structured rp::Error — it must never crash,
+// hang, or silently misparse. The harness generates pristine benchmark suites
+// with the synthetic generator, applies seed-driven byte/token/line mutations,
+// and parses each mutant in both strict and lenient mode. Any escape of a
+// non-rp::Error exception is a bug; crashes/hangs surface as a process abort
+// (run under -DRP_SANITIZE=address,undefined to catch memory errors) or the
+// ctest timeout.
+//
+//   rp_fuzz_bookshelf --seeds 500 --seed-base 1 --dir fuzz_ws [--verbose]
+//
+// Byte-deterministic: iteration i uses Rng(seed_base + i), so a failing seed
+// reproduces exactly with --seeds 1 --seed-base <seed>.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "db/bookshelf.hpp"
+#include "gen/generator.hpp"
+#include "util/error.hpp"
+#include "util/logger.hpp"
+#include "util/rng.hpp"
+#include "util/str.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Suite {
+  std::string aux;                           // aux filename (relative).
+  std::map<std::string, std::string> files;  // filename -> pristine bytes.
+};
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const fs::path& p, const std::string& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+Suite make_suite(const rp::BenchmarkSpec& spec, const fs::path& dir,
+                 const std::string& base) {
+  const rp::Design d = rp::generate_benchmark(spec);
+  rp::write_bookshelf(d, dir, base);
+  Suite s;
+  s.aux = base + ".aux";
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(base + ".", 0) == 0) s.files[name] = slurp(entry.path());
+  }
+  return s;
+}
+
+// Tokens that historically break naive parsers: non-finite numbers, huge
+// counts, negatives, keywords in the wrong place, empty fields.
+const char* const kDictionary[] = {
+    "nan",  "NaN",      "inf",       "-inf",  "1e309", "-1", "0",
+    ":",    "terminal", "NetDegree", "o9999", "",      "18446744073709551616",
+    "0x1p+2000", "NumNodes"};
+
+void mutate(rp::Rng& rng, std::string& bytes) {
+  switch (rng.below(7)) {
+    case 0: {  // flip a byte
+      if (bytes.empty()) return;
+      bytes[rng.below(bytes.size())] ^= static_cast<char>(1 + rng.below(255));
+      return;
+    }
+    case 1: {  // insert a byte
+      const char c = static_cast<char>(rng.below(256));
+      bytes.insert(bytes.begin() + static_cast<long>(rng.below(bytes.size() + 1)), c);
+      return;
+    }
+    case 2: {  // delete a byte
+      if (bytes.empty()) return;
+      bytes.erase(bytes.begin() + static_cast<long>(rng.below(bytes.size())));
+      return;
+    }
+    case 3: {  // truncate
+      bytes.resize(rng.below(bytes.size() + 1));
+      return;
+    }
+    case 4: {  // replace a whitespace-delimited token with a dictionary pick
+      std::vector<std::pair<std::size_t, std::size_t>> tokens;  // offset, len
+      std::size_t i = 0;
+      while (i < bytes.size()) {
+        while (i < bytes.size() && std::isspace(static_cast<unsigned char>(bytes[i]))) ++i;
+        const std::size_t start = i;
+        while (i < bytes.size() && !std::isspace(static_cast<unsigned char>(bytes[i]))) ++i;
+        if (i > start) tokens.emplace_back(start, i - start);
+      }
+      if (tokens.empty()) return;
+      const auto [off, len] = tokens[rng.below(tokens.size())];
+      const char* repl =
+          kDictionary[rng.below(sizeof(kDictionary) / sizeof(kDictionary[0]))];
+      bytes.replace(off, len, repl);
+      return;
+    }
+    case 5: {  // duplicate a line
+      std::vector<std::pair<std::size_t, std::size_t>> lines;
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= bytes.size(); ++i) {
+        if (i == bytes.size() || bytes[i] == '\n') {
+          lines.emplace_back(start, i - start);
+          start = i + 1;
+        }
+      }
+      const auto [off, len] = lines[rng.below(lines.size())];
+      const std::string line = bytes.substr(off, len);
+      bytes.insert(off, line + "\n");
+      return;
+    }
+    default: {  // delete a line
+      std::vector<std::pair<std::size_t, std::size_t>> lines;
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= bytes.size(); ++i) {
+        if (i == bytes.size() || bytes[i] == '\n') {
+          lines.emplace_back(start, i + 1 - start);
+          start = i + 1;
+        }
+      }
+      const auto [off, len] = lines[rng.below(lines.size())];
+      bytes.erase(off, std::min(len, bytes.size() - off));
+      return;
+    }
+  }
+}
+
+int usage(int rc) {
+  std::fprintf(
+      rc == 0 ? stdout : stderr,
+      "rp_fuzz_bookshelf — deterministic Bookshelf parser fuzzer\n"
+      "  --seeds <n>       mutations to run (default 500)\n"
+      "  --seed-base <s>   first seed; iteration i uses seed s+i (default 1)\n"
+      "  --dir <d>         scratch directory (default fuzz_bookshelf_ws)\n"
+      "  --verbose         log every rejected mutant\n");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long seeds = 500;
+  std::uint64_t seed_base = 1;
+  std::string dir = "fuzz_bookshelf_ws";
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need = [&](const char* opt) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rp_fuzz_bookshelf: %s needs a value\n", opt);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seeds") seeds = rp::to_long(need("--seeds"));
+    else if (a == "--seed-base")
+      seed_base = static_cast<std::uint64_t>(rp::to_long(need("--seed-base")));
+    else if (a == "--dir") dir = need("--dir");
+    else if (a == "--verbose") verbose = true;
+    else if (a == "--help" || a == "-h") return usage(0);
+    else {
+      std::fprintf(stderr, "rp_fuzz_bookshelf: unknown option '%s'\n", a.c_str());
+      return usage(2);
+    }
+  }
+  rp::Logger::set_level(verbose ? rp::LogLevel::Info : rp::LogLevel::Silent);
+
+  const fs::path corpus = fs::path(dir) / "corpus";
+  const fs::path work = fs::path(dir) / "work";
+  fs::create_directories(corpus);
+  fs::create_directories(work);
+
+  // Pristine suites: one hierarchical, one flat (different record mixes).
+  std::vector<Suite> suites;
+  {
+    rp::BenchmarkSpec hier = rp::tiny_spec(7);
+    hier.name = "fz_hier";
+    suites.push_back(make_suite(hier, corpus, "fz_hier"));
+    rp::BenchmarkSpec flat = rp::tiny_spec(3);
+    flat.flat = true;
+    flat.num_macros = 4;
+    flat.name = "fz_flat";
+    suites.push_back(make_suite(flat, corpus, "fz_flat"));
+  }
+
+  // Sanity: every pristine suite must parse strictly with zero repairs.
+  for (const Suite& s : suites) {
+    try {
+      rp::read_bookshelf(corpus / s.aux);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "FUZZ SETUP BUG: pristine suite '%s' rejected: %s\n",
+                   s.aux.c_str(), e.what());
+      return 1;
+    }
+  }
+
+  long bugs = 0, accepted = 0, rejected = 0;
+  for (long it = 0; it < seeds; ++it) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(it);
+    rp::Rng rng(seed);
+    const Suite& s = suites[rng.below(suites.size())];
+
+    // Mutate 1-4 spots across the suite's files (the .aux included).
+    std::map<std::string, std::string> mutated = s.files;
+    std::vector<std::string> names;
+    names.reserve(mutated.size());
+    for (const auto& [name, bytes] : mutated) names.push_back(name);
+    const long n_mut = 1 + static_cast<long>(rng.below(4));
+    for (long m = 0; m < n_mut; ++m)
+      mutate(rng, mutated[names[rng.below(names.size())]]);
+    for (const auto& [name, bytes] : mutated) spit(work / name, bytes);
+
+    for (const rp::ParseMode mode : {rp::ParseMode::Strict, rp::ParseMode::Lenient}) {
+      rp::BookshelfOptions opt;
+      rp::ParseRepairs rep;
+      opt.mode = mode;
+      opt.repairs = &rep;
+      const char* mode_name = mode == rp::ParseMode::Strict ? "strict" : "lenient";
+      try {
+        rp::Design d = rp::read_bookshelf(work / s.aux, opt);
+        (void)d;
+        ++accepted;
+      } catch (const rp::Error& e) {
+        ++rejected;  // structured rejection: the contract holds
+        if (verbose)
+          std::fprintf(stderr, "  seed %llu %s: %s\n",
+                       static_cast<unsigned long long>(seed), mode_name, e.what());
+      } catch (const std::exception& e) {
+        ++bugs;
+        std::fprintf(stderr,
+                     "FUZZ BUG seed %llu (%s, %s): unstructured %s escaped: %s\n",
+                     static_cast<unsigned long long>(seed), s.aux.c_str(),
+                     mode_name, typeid(e).name(), e.what());
+      }
+    }
+  }
+
+  std::printf(
+      "rp_fuzz_bookshelf: %ld seed(s) x 2 modes — %ld accepted, %ld rejected "
+      "(structured ParseError), %ld bug(s)\n",
+      seeds, accepted, rejected, bugs);
+  return bugs > 0 ? 1 : 0;
+}

@@ -1,0 +1,58 @@
+#include "util/error.hpp"
+
+namespace rp {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::ParseError: return "ParseError";
+    case ErrorCode::ValidationError: return "ValidationError";
+    case ErrorCode::NumericError: return "NumericError";
+    case ErrorCode::ResourceError: return "ResourceError";
+  }
+  return "UnknownError";
+}
+
+int error_exit_code(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::ParseError: return 3;
+    case ErrorCode::ValidationError: return 4;
+    case ErrorCode::NumericError: return 5;
+    case ErrorCode::ResourceError: return 6;
+  }
+  return 2;
+}
+
+namespace {
+
+std::string format_what(ErrorCode code, const std::string& message,
+                        const std::string& where) {
+  std::string s = "[";
+  s += error_code_name(code);
+  s += "] ";
+  if (!where.empty()) {
+    s += where;
+    s += ": ";
+  }
+  s += message;
+  return s;
+}
+
+}  // namespace
+
+Error::Error(ErrorCode code, std::string message, std::string where, std::string stage)
+    : std::runtime_error(format_what(code, message, where)),
+      code_(code),
+      message_(std::move(message)),
+      where_(std::move(where)),
+      stage_(std::move(stage)) {}
+
+namespace detail {
+
+std::string_view error_basename(std::string_view path) {
+  const auto slash = path.find_last_of("/\\");
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace detail
+
+}  // namespace rp
