@@ -10,13 +10,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <memory>
 
 #include "cluster/multilevel.hpp"
+#include "core/flow.hpp"
 #include "gen/generator.hpp"
 #include "legal/legalizer.hpp"
 #include "legal/macro_legalizer.hpp"
@@ -25,6 +28,7 @@
 #include "route/estimator.hpp"
 #include "route/router.hpp"
 #include "util/logger.hpp"
+#include "util/obs_context.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -261,6 +265,88 @@ void emit_speedup_rows() {
   parallel::set_num_threads(1);
 }
 
+// ----------------------------------------------- event-bus overhead JSONL row
+
+/// Measure the observability event bus (PR 7): raw emit cost into the ring,
+/// emit cost with an open NDJSON stream, and — the number that matters — the
+/// wall-time ratio of a full flow with the progress stream on vs off. The
+/// contract is <2% flow overhead; bench_trend.py gates "overhead_ratio" as
+/// an absolute limit (> 1.02 fails), not as a baseline-relative metric.
+void emit_event_bus_rows() {
+  using namespace rp;
+
+  // Raw emit: ring buffer only (the always-on cost every run pays).
+  obs::EventBus ring_bus;
+  constexpr int kBatch = 4096;
+  const double ring_sec = time_kernel([&] {
+    for (int i = 0; i < kBatch; ++i) {
+      obs::Event e = ring_bus.make(obs::EventKind::GpIter, "bench");
+      e.i1 = i;
+      e.d0 = 1.0 + i;
+      ring_bus.emit(e);
+    }
+  }) / kBatch;
+
+  // Streamed emit: ring + NDJSON serialization + write() per event.
+  obs::EventBus stream_bus;
+  double stream_sec = 0.0;
+  if (stream_bus.open_stream("/dev/null")) {
+    stream_sec = time_kernel([&] {
+      for (int i = 0; i < kBatch; ++i) {
+        obs::Event e = stream_bus.make(obs::EventKind::GpIter, "bench");
+        e.i1 = i;
+        e.d0 = 1.0 + i;
+        stream_bus.emit(e);
+      }
+    }) / kBatch;
+    stream_bus.close_stream();
+  }
+
+  // Full-flow wall time, stream off vs on (min of k, arms interleaved so
+  // drift hits both equally). The tiny design keeps the pair under a second.
+  auto flow_sec = [](bool stream) {
+    auto ctx = std::make_shared<obs::ObsContext>();
+    if (stream) ctx->events().open_stream("/dev/null");
+    obs::ScopedBind bind(ctx.get());
+    Design d = generate_benchmark(tiny_spec(17));
+    FlowOptions opt = routability_driven_options();
+    opt.obs = ctx;
+    PlacementFlow flow(opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    flow.run(d);
+    return std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+  };
+  double off_sec = 1e300, on_sec = 1e300;
+  flow_sec(false);  // warm caches/pool before timing either arm
+  for (int rep = 0; rep < 5; ++rep) {
+    off_sec = std::min(off_sec, flow_sec(false));
+    on_sec = std::min(on_sec, flow_sec(true));
+  }
+  const double ratio = off_sec > 0.0 ? on_sec / off_sec : 0.0;
+
+  const double events_per_sec = ring_sec > 0.0 ? 1.0 / ring_sec : 0.0;
+  std::printf("\nevent bus overhead\n");
+  std::printf("  emit (ring only)      %8.1f ns/event (%.2e events/sec)\n",
+              ring_sec * 1e9, events_per_sec);
+  std::printf("  emit (NDJSON stream)  %8.1f ns/event\n", stream_sec * 1e9);
+  std::printf("  flow stream off/on    %.3fs / %.3fs (ratio %.4f)\n",
+              off_sec, on_sec, ratio);
+
+  const char* json_path = std::getenv("RP_BENCH_JSON");
+  if (json_path != nullptr && json_path[0] != '\0') {
+    std::ofstream json(json_path, std::ios::app);
+    if (json.is_open())
+      json << "{\"schema\":\"event_bus_overhead\""
+           << ",\"events_per_sec\":" << events_per_sec
+           << ",\"emit_ns\":" << ring_sec * 1e9
+           << ",\"emit_streamed_ns\":" << stream_sec * 1e9
+           << ",\"flow_off_sec\":" << off_sec
+           << ",\"flow_on_sec\":" << on_sec
+           << ",\"overhead_ratio\":" << ratio << "}\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -269,5 +355,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   emit_speedup_rows();
+  emit_event_bus_rows();
   return 0;
 }

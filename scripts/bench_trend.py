@@ -8,7 +8,10 @@ The bench binaries append machine-readable JSONL rows to $RP_BENCH_JSON:
   * kernel speedups    (``{"schema": "kernel_speedup", ...}`` from
     bench_micro_kernels' thread sweep),
   * profiler regions   (``{"schema": "profile_region", ...}`` when the run
-    was profiled via RP_PROFILE=1).
+    was profiled via RP_PROFILE=1),
+  * event-bus overhead (``{"schema": "event_bus_overhead", ...}`` from
+    bench_micro_kernels: emit cost, events/sec, and the stream-on vs
+    stream-off flow wall-time ratio).
 
 ``aggregate`` flattens those rows into a BENCH_<YYYYMMDD>.json trajectory
 file: a flat ``metrics`` map keyed
@@ -23,6 +26,9 @@ that decides the regression direction and default noise tolerance:
   time           lower is better; noisy     -> default tolerance 15%
   higher_better  higher is better; noisy    -> default tolerance 15%
   quality        lower is better; exact     -> default tolerance 1%
+  limit          absolute ceiling; the CURRENT value must stay under a fixed
+                 limit regardless of the baseline (eventbus.overhead_ratio
+                 <= 1.02: the event bus may not cost a flow more than 2%)
 
 ``compare`` checks a current trend file against a committed baseline and
 exits nonzero if any shared metric regressed beyond its tolerance — this is
@@ -37,8 +43,20 @@ import json
 import sys
 import time
 
-TIME_SUFFIXES = ("_sec", "_ms", "_us", "sec_per_iter", "stage_total_sec")
-HIGHER_BETTER_SUFFIXES = ("speedup_vs_1",)
+TIME_SUFFIXES = ("_sec", "_ms", "_us", "_ns", "sec_per_iter", "stage_total_sec")
+HIGHER_BETTER_SUFFIXES = ("speedup_vs_1", "events_per_sec")
+
+# Absolute ceilings: key suffix -> max allowed CURRENT value. These gate a
+# contract ("streaming may not cost >2% flow time"), not a trajectory, so
+# they fail on the current measurement alone.
+LIMIT_METRICS = {"overhead_ratio": 1.02}
+
+
+def metric_limit(key):
+    for suffix, limit in LIMIT_METRICS.items():
+        if key.endswith(suffix):
+            return limit
+    return None
 
 # Flow-report metrics worth tracking (quality is deterministic per design,
 # runtime is the thing PRs move).
@@ -47,6 +65,8 @@ REGION_METRICS = ("total_ms", "p50_us", "p95_us", "p99_us")
 
 
 def metric_kind(key):
+    if metric_limit(key) is not None:
+        return "limit"
     if key.endswith(HIGHER_BETTER_SUFFIXES):
         return "higher_better"
     if key.endswith(TIME_SUFFIXES):
@@ -101,6 +121,10 @@ def metrics_from_rows(rows):
                 row.get("bench", "?"), row.get("flow", "?"), row.get("region", "?"))
             for m in REGION_METRICS:
                 add("%s.%s" % (base, m), row.get(m))
+        elif schema == "event_bus_overhead":
+            for m in ("events_per_sec", "emit_ns", "emit_streamed_ns",
+                      "flow_off_sec", "flow_on_sec", "overhead_ratio"):
+                add("eventbus.%s" % m, row.get(m))
         elif "schema_version" in row and "design" in row:
             base = "flow.%s.%s" % (row["design"].get("name", "?"), row.get("mode", "?"))
             ev = row.get("eval", {})
@@ -162,9 +186,23 @@ def cmd_compare(args):
     bm, cm = base["metrics"], cur["metrics"]
 
     regressions, improvements, checked = [], [], 0
+
+    # Absolute-limit metrics gate on the current file alone (and are checked
+    # even when the baseline predates them).
+    for key in sorted(cm):
+        limit = metric_limit(key)
+        if limit is None:
+            continue
+        c = cm[key]["value"]
+        checked += 1
+        if c > limit:
+            regressions.append((key, limit, c, c / limit))
+
     for key in sorted(set(bm) & set(cm)):
         b, c = bm[key]["value"], cm[key]["value"]
         kind = bm[key].get("kind", metric_kind(key))
+        if kind == "limit":
+            continue  # gated absolutely above
         if kind == "time" and args.scale_time != 1.0:
             c *= args.scale_time  # testing aid: synthetic slowdown injection
         tol = args.quality_tol if kind == "quality" else args.time_tol

@@ -83,8 +83,16 @@ def validate_report(report, stdout_text):
     if FAILURES:
         return
 
-    check(report["schema_version"] == 3, "report: schema_version != 3")
+    check(report["schema_version"] == 4, "report: schema_version != 4")
     check(report["tool"] == "routplace", "report: tool != routplace")
+
+    # v4: the event-bus totals block.
+    events = report.get("events")
+    if check(isinstance(events, dict), "report.events missing or not an object"):
+        expect_keys(events, ["emitted", "flight_capacity"], "report.events")
+        check(events.get("emitted", 0) > 0, "report.events.emitted not positive")
+        check(events.get("flight_capacity", 0) > 0,
+              "report.events.flight_capacity not positive")
     check_finite(report, "report")
 
     build = report["build"]
@@ -365,8 +373,8 @@ def run_negative_path(binary, tmp):
     report = load_json_strict(report_path, "failed-run report")
     if report is None:
         return
-    check(report.get("schema_version") == 3,
-          "failed-run report: schema_version != 3")
+    check(report.get("schema_version") == 4,
+          "failed-run report: schema_version != 4")
     validate_error_block(report, "ParseError", 3)
     validate_parse_block(report, "strict")
     if "error" in report:

@@ -15,7 +15,11 @@ runtime) — and demands that everything observable is IDENTICAL:
 4. a strict Python comparison of the two reports after dropping only the
    documented volatile keys (timings, RSS, build stamp, output paths,
    parallel + profile blocks) — so a new thread-dependent field can't hide
-   behind a loose tolerance.
+   behind a loose tolerance;
+5. the --progress-ndjson event streams match line for line once the two
+   documented volatile fields per line ("seq", "t_ms") are dropped —
+   event PAYLOADS are part of the determinism contract
+   (util/event_bus.hpp).
 
 Usage: check_threads_determinism.py <routplace> <rp_report_diff> [threads]
 Exit code 0 on success. `threads` defaults to max(4, hardware).
@@ -55,13 +59,27 @@ def scrub(doc):
     return out
 
 
+NDJSON_VOLATILE = {"seq", "t_ms"}  # stamped by emit(); everything else is payload
+
+
+def ndjson_payloads(path):
+    """Parse an NDJSON stream into per-line dicts with the volatile stamp
+    fields removed — what the determinism contract says must match."""
+    lines = []
+    for raw in Path(path).read_text().splitlines():
+        obj = json.loads(raw)
+        lines.append({k: v for k, v in obj.items() if k not in NDJSON_VOLATILE})
+    return lines
+
+
 def run_flow(routplace, outdir, threads, profile=False):
     outdir.mkdir()
     report = outdir / "run.report.json"
     snap = outdir / "snapshots"
     cmd = [str(routplace), "--gen", "700", "--seed", "13", "--rounds", "2",
            "--threads", str(threads), "--out", str(outdir / "out.pl"),
-           "--report-json", str(report), "--snapshot-dir", str(snap)]
+           "--report-json", str(report), "--snapshot-dir", str(snap),
+           "--progress-ndjson", str(outdir / "progress.ndjson")]
     if profile:
         cmd.append("--profile")
     proc = subprocess.run(cmd, capture_output=True, text=True, timeout=280)
@@ -83,8 +101,8 @@ def compare_trees(dir_a, dir_b):
           f"file sets differ: only-1t={sorted(map(str, files_a - files_b))} "
           f"only-Nt={sorted(map(str, files_b - files_a))}")
     for rel in sorted(files_a & files_b):
-        if rel.name == "run.report.json":
-            continue  # reports are compared semantically below
+        if rel.name == "run.report.json" or rel.suffix == ".ndjson":
+            continue  # reports/streams are compared semantically below
         check(filecmp.cmp(dir_a / rel, dir_b / rel, shallow=False),
               f"'{rel}' differs between thread counts")
 
@@ -129,6 +147,21 @@ def main():
         check(doc_1 == doc_n,
               "scrubbed reports differ exactly where they must not "
               "(run with rp_report_diff for details)")
+
+        # Event-stream determinism: identical payload sequences (the stream
+        # is written by the flow's main thread, so thread count must not
+        # change what — or in which order — events are emitted).
+        ev_1 = ndjson_payloads(run_1 / "progress.ndjson")
+        ev_n = ndjson_payloads(run_n / "progress.ndjson")
+        check(len(ev_1) == len(ev_n),
+              f"progress streams differ in length: {len(ev_1)} vs {len(ev_n)}")
+        if len(ev_1) == len(ev_n):
+            for i, (a, b) in enumerate(zip(ev_1, ev_n)):
+                if not check(a == b,
+                             f"progress line {i + 1} payload differs:\n"
+                             f"  t1: {a}\n  tN: {b}"):
+                    break
+        check(len(ev_1) > 0, "progress stream is empty")
 
         # Sanity: the N-thread run really used N threads and was profiled,
         # while the 1-thread run was not (the asymmetry is the point).

@@ -8,6 +8,7 @@
 #include "gen/generator.hpp"
 #include "util/error.hpp"
 #include "util/logger.hpp"
+#include "util/obs_context.hpp"
 #include "util/parallel.hpp"
 #include "util/profiler.hpp"
 #include "util/str.hpp"
@@ -60,6 +61,14 @@ std::string cli_usage() {
       "  --map                   print the routed-congestion ASCII map\n"
       "  --report-json <file>    write a structured JSON run report\n"
       "  --trace-json <file>     write a chrome://tracing / Perfetto flow trace\n"
+      "  --progress-ndjson <t>   stream schema-versioned NDJSON progress events\n"
+      "                          (stage transitions, per-GP-iteration convergence,\n"
+      "                          routability rounds) to <t>: a path, '-' for\n"
+      "                          stdout, or 'fd:N' for an inherited descriptor;\n"
+      "                          flushed per event so the run can be tailed live\n"
+      "  --flight-json <file>    black-box flight recorder: on an error exit,\n"
+      "                          watchdog expiry, interrupt, or fatal signal,\n"
+      "                          dump the last events + counter snapshot here\n"
       "  --snapshot-dir <dir>    capture spatial snapshots: density/congestion/\n"
       "                          inflation/displacement heatmaps per routability\n"
       "                          round + convergence history (see DESIGN.md)\n"
@@ -76,7 +85,9 @@ std::string cli_usage() {
       "exit codes:\n"
       "  0 legal placement   1 completed, not legal   2 usage error\n"
       "  3 ParseError        4 ValidationError        5 NumericError\n"
-      "  6 ResourceError     (see README 'Error handling & exit codes')\n";
+      "  6 ResourceError     7 Interrupted (SIGINT/SIGTERM; partial report +\n"
+      "                        flight dump are written before exiting)\n"
+      "  (see README 'Error handling & exit codes')\n";
 }
 
 CliConfig parse_cli_args(const std::vector<std::string>& args) {
@@ -107,6 +118,8 @@ CliConfig parse_cli_args(const std::vector<std::string>& args) {
     else if (a == "--profile") cfg.profile = true;
     else if (a == "--report-json") cfg.report_json = need_value(i++, a);
     else if (a == "--trace-json") cfg.trace_json = need_value(i++, a);
+    else if (a == "--progress-ndjson") cfg.progress_ndjson = need_value(i++, a);
+    else if (a == "--flight-json") cfg.flight_json = need_value(i++, a);
     else if (a == "--snapshot-dir") cfg.snapshot_dir = need_value(i++, a);
     else if (a == "--snapshot-every")
       cfg.snapshot_every = static_cast<int>(to_long(need_value(i++, a)));
@@ -169,18 +182,51 @@ int run_cli(const CliConfig& cfg) {
 
   const std::string source = cfg.aux.empty() ? "generated" : "bookshelf";
   const std::string parse_mode = cfg.lenient ? "lenient" : "strict";
-  const FlowOptions fopt = cli_flow_options(cfg);
+  FlowOptions fopt = cli_flow_options(cfg);
   ParseRepairs repairs;
   bool trace_active = false;
 
-  // Failure path shared by parse and flow errors: finish the trace if one is
-  // recording, write the run report (with its "error" block) if requested,
-  // log, and return the error class's documented exit code.
+  // Per-run observability context: counters, trace buffer, profiler regions
+  // and the event bus all live here, bound to this thread for the whole
+  // parse → flow → report span. Parse-time state (repair counters, the
+  // ParseRepair event) accumulates in the SAME context the flow uses, so it
+  // lands in the report without any side channel — and a second run_cli in
+  // one process starts from a fresh context.
+  auto obs_ctx = std::make_shared<obs::ObsContext>();
+  obs::ScopedBind obs_bind(obs_ctx.get());
+  obs::clear_interrupt();
+  obs::set_crash_context(obs_ctx.get());
+  struct CrashCtxGuard {
+    ~CrashCtxGuard() { obs::set_crash_context(nullptr); }
+  } crash_ctx_guard;  // the context dies with run_cli; disarm the handler first
+  fopt.obs = obs_ctx;
+
+  if (!cfg.progress_ndjson.empty() &&
+      !obs_ctx->events().open_stream(cfg.progress_ndjson))
+    RP_THROW(ErrorCode::ResourceError,
+             "cannot open progress stream '" + cfg.progress_ndjson + "'");
+
+  const auto dump_flight = [&](const char* reason) {
+    if (cfg.flight_json.empty()) return;
+    if (obs_ctx->events().dump_flight(cfg.flight_json, reason,
+                                      &obs_ctx->registry()))
+      RP_INFO("flight recorder dumped to '%s'", cfg.flight_json.c_str());
+  };
+
+  // Failure path shared by parse and flow errors (including Interrupted):
+  // emit the terminal error event, finish the trace if one is recording,
+  // dump the flight recorder, write the run report (with its "error" block)
+  // if requested, log, and return the error class's documented exit code.
   const auto report_error = [&](const Error& e, const RunReportMeta& meta) {
+    obs::Event ev = obs_ctx->events().make(obs::EventKind::RunError, e.code_name());
+    ev.i0 = e.exit_code();
+    obs_ctx->events().emit(ev);
+    obs_ctx->events().close_stream();
     if (trace_active) {
       telemetry::stop_trace();
       telemetry::write_trace_json(cfg.trace_json);
     }
+    dump_flight(e.code_name());
     if (!cfg.report_json.empty() &&
         write_run_report(cfg.report_json, meta, fopt, FlowResult{},
                          RunErrorInfo::from(e)))
@@ -202,7 +248,6 @@ int run_cli(const CliConfig& cfg) {
       meta.source = source;
       meta.mode = cfg.mode;
       meta.parse_mode = parse_mode;
-      meta.repairs = repairs;
       return report_error(e, meta);
     }
   } else {
@@ -217,7 +262,6 @@ int run_cli(const CliConfig& cfg) {
       make_report_meta(d, source, cfg.mode, cfg.aux.empty() ? cfg.seed : 0);
   if (!cfg.aux.empty()) {
     meta.parse_mode = parse_mode;
-    meta.repairs = repairs;
     if (repairs.total() > 0)
       RP_WARN("lenient parse repaired %ld defect(s) in '%s' (see report)",
               repairs.total(), cfg.aux.c_str());
@@ -235,6 +279,14 @@ int run_cli(const CliConfig& cfg) {
   } catch (const Error& e) {
     return report_error(e, meta);
   }
+
+  // The flow emitted its RunEnd event; the stream is complete.
+  obs_ctx->events().close_stream();
+  // Watchdog expiry is a degraded-but-completed run: leave the black box.
+  if (obs_ctx->registry().counter_value("guard.watchdog_gp_iters") +
+          obs_ctx->registry().counter_value("guard.watchdog_seconds") >
+      0)
+    dump_flight("watchdog");
 
   if (trace_active) {
     telemetry::stop_trace();

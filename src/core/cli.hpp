@@ -36,6 +36,8 @@ struct CliConfig {
   // Telemetry outputs (empty: disabled):
   std::string report_json;   ///< Structured run report (see core/run_report.hpp).
   std::string trace_json;    ///< Chrome trace-event flow trace.
+  std::string progress_ndjson;  ///< Live NDJSON event stream: path, "-", "fd:N".
+  std::string flight_json;   ///< Flight-recorder dump on error/crash/interrupt.
   // Spatial snapshots (see core/snapshot.hpp):
   std::string snapshot_dir;  ///< Heatmaps + convergence history directory.
   int snapshot_every = 0;    ///< >0: finest-level density map every N outers.
@@ -56,9 +58,15 @@ FlowOptions cli_flow_options(const CliConfig& cfg);
 /// Returns a process exit code following the documented contract:
 ///   0 = legal placement produced, 1 = flow completed but result not legal,
 ///   2 = CLI usage error, 3 = ParseError, 4 = ValidationError,
-///   5 = NumericError, 6 = ResourceError (see util/error.hpp).
+///   5 = NumericError, 6 = ResourceError, 7 = Interrupted (SIGINT/SIGTERM
+///   acknowledged at a safe point — see util/error.hpp).
 /// On an rp::Error the run report (if requested) is still written, with an
-/// "error" block recording code/message/where/stage/exit_code.
+/// "error" block recording code/message/where/stage/exit_code, and the
+/// flight recorder (if --flight-json is set) is dumped.
+///
+/// The run observes into its OWN ObsContext (created here, bound for the
+/// call, named as the crash handler's dump source), so run_cli is re-entrant
+/// with respect to observability state.
 int run_cli(const CliConfig& cfg);
 
 }  // namespace rp

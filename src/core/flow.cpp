@@ -1,11 +1,13 @@
 #include "core/flow.hpp"
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "route/estimator.hpp"
 #include "util/error.hpp"
 #include "util/logger.hpp"
+#include "util/obs_context.hpp"
 #include "util/profiler.hpp"
 #include "util/telemetry.hpp"
 
@@ -13,17 +15,24 @@ namespace rp {
 
 namespace {
 
-/// Run a stage body; an escaping rp::Error that does not yet know its stage
-/// gets annotated with this stage's name (throw sites deep in a kernel often
-/// cannot know which flow stage invoked them).
+/// Run a stage body bracketed by StageBegin/StageEnd events, polling the
+/// interrupt flag at entry (a stage boundary is always a safe cancellation
+/// point). An escaping rp::Error that does not yet know its stage gets
+/// annotated with this stage's name (throw sites deep in a kernel often
+/// cannot know which flow stage invoked them); an error leaves the stage
+/// UNCLOSED in the event stream — the terminal error event explains why.
 template <typename Fn>
 void with_stage(const char* stage, Fn&& fn) {
+  obs::check_interrupt();
+  obs::EventBus& bus = obs::events();
+  bus.emit(bus.make(obs::EventKind::StageBegin, stage));
   try {
     fn();
   } catch (Error& e) {
     e.set_stage(stage);
     throw;
   }
+  bus.emit(bus.make(obs::EventKind::StageEnd, stage));
 }
 
 }  // namespace
@@ -44,10 +53,27 @@ FlowOptions wirelength_driven_options() {
 
 FlowResult PlacementFlow::run(Design& d) {
   FlowResult r;
-  // Every flow run starts from a clean counter/profile slate, so a run's
-  // report reflects that run only (bench binaries run many flows per process).
-  telemetry::Registry::instance().reset();
-  profiler::reset_all();
+  // Observability: with an explicit per-run context, bind it for the run's
+  // duration and keep whatever the caller accumulated (parse counters,
+  // events). Without one, keep the historical contract: reset the current
+  // context so a run's report reflects that run only (bench binaries run
+  // many flows per process).
+  std::optional<obs::ScopedBind> obs_bind;
+  if (opt_.obs != nullptr) {
+    obs_bind.emplace(opt_.obs.get());
+    r.obs = opt_.obs;
+  } else {
+    telemetry::Registry::instance().reset();
+    profiler::reset_all();
+  }
+  {
+    obs::EventBus& bus = obs::events();
+    obs::Event e = bus.make(obs::EventKind::RunBegin, d.name().c_str());
+    e.i0 = d.num_cells();
+    e.i1 = d.num_nets();
+    e.i2 = d.num_macros();
+    bus.emit(e);
+  }
   RP_TRACE_SPAN("flow");
 
   std::unique_ptr<SnapshotRecorder> snap;
@@ -160,6 +186,15 @@ FlowResult PlacementFlow::run(Design& d) {
   if (snap) {
     snap->finalize();
     r.snapshot_dir = snap->dir();
+  }
+  {
+    obs::EventBus& bus = obs::events();
+    obs::Event e = bus.make(obs::EventKind::RunEnd);
+    e.d0 = r.eval.hpwl;
+    e.d1 = r.eval.scaled_hpwl;
+    e.d2 = r.eval.congestion.total_overflow;
+    e.i0 = r.eval.legality.ok() ? 1 : 0;
+    bus.emit(e);
   }
   return r;
 }

@@ -13,6 +13,7 @@
 // `wirelength_driven_options()` is the baseline of the paper's comparisons:
 // identical machinery with every routability feature disabled.
 
+#include <memory>
 #include <string>
 
 #include "core/global_placer.hpp"
@@ -21,6 +22,7 @@
 #include "dp/detailed.hpp"
 #include "legal/legalizer.hpp"
 #include "legal/macro_legalizer.hpp"
+#include "util/obs_context.hpp"
 #include "util/timer.hpp"
 
 namespace rp {
@@ -37,6 +39,17 @@ struct FlowOptions {
   bool skip_dp = false;
   bool skip_eval = false;
   SnapshotOptions snapshot;  ///< snapshot.dir empty: spatial capture off.
+
+  /// Observability context for this run. Two modes:
+  ///  * null (default): the run uses the CURRENT thread-bound context and
+  ///    RESETS its counters/profile at entry — the historical behavior that
+  ///    bench loops and tests rely on (each run's report reflects that run).
+  ///  * non-null: the run binds this caller-owned context for its duration
+  ///    and does NOT reset it, so state accumulated before the flow (parse-
+  ///    repair counters, events) flows into the run report. This is the
+  ///    re-entrant mode: concurrent runs on separate contexts don't share
+  ///    any observability state.
+  std::shared_ptr<obs::ObsContext> obs;
 };
 
 /// The paper's configuration (all routability levers on).
@@ -53,6 +66,11 @@ struct FlowResult {
   StageTimes times;
   std::vector<GpTracePoint> gp_trace;
   std::string snapshot_dir;  ///< Where snapshots landed (empty: disabled).
+  /// The context this run observed into (FlowOptions::obs, or null when the
+  /// run used the thread's current context). run_report_json reads counters
+  /// and event totals through this, so building a report for run A while
+  /// run B is bound stays correct.
+  std::shared_ptr<obs::ObsContext> obs;
 };
 
 class PlacementFlow {

@@ -15,6 +15,7 @@
 #include "solver/cg.hpp"
 #include "model/objective.hpp"
 #include "util/logger.hpp"
+#include "util/obs_context.hpp"
 #include "util/rng.hpp"
 #include "util/telemetry.hpp"
 
@@ -93,6 +94,7 @@ GlobalPlacer::LevelResult GlobalPlacer::place_level(PlaceProblem& prob,
   std::vector<double> recent;  // overflow history for plateau detection
   int outer = 0;
   for (; outer < max_outer; ++outer) {
+    obs::check_interrupt();  // one CG solve per outer: a cheap, safe poll point
     if (watchdog_tripped()) break;
     const double t = static_cast<double>(outer) / std::max(1, max_outer - 1);
     const double gamma = g0 * std::pow(g1 / g0, t);
@@ -116,6 +118,22 @@ GlobalPlacer::LevelResult GlobalPlacer::place_level(PlaceProblem& prob,
     tp.lambda = lambda;
     tp.inflation = inflation_mean;
     trace_.push_back(tp);
+    {
+      // Convergence point on the event bus: the payload mirrors GpTracePoint
+      // (pure function of the computation — deterministic across threads).
+      obs::EventBus& bus = obs::events();
+      char tag[24];
+      if (level_tag >= 0) std::snprintf(tag, sizeof tag, "level%d", level_tag);
+      else std::snprintf(tag, sizeof tag, "reheat%d", -level_tag);
+      obs::Event e = bus.make(obs::EventKind::GpIter, tag);
+      e.i0 = level_tag;
+      e.i1 = outer;
+      e.d0 = tp.hpwl;
+      e.d1 = ovfl;
+      e.d2 = lambda;
+      e.d3 = inflation_mean;
+      bus.emit(e);
+    }
     if (opt_.snapshot != nullptr) {
       ConvergencePoint cp;
       cp.level = level_tag >= 0 ? level_tag : 0;
@@ -164,11 +182,17 @@ bool GlobalPlacer::watchdog_tripped() {
     RP_WARN("gp watchdog: --max-gp-iters %d reached; stopping global placement "
             "early (flow continues with the current positions)", opt_.max_gp_iters);
     RP_COUNT("guard.watchdog_gp_iters", 1);
+    obs::Event e = obs::events().make(obs::EventKind::Watchdog, "gp_iters");
+    e.d0 = opt_.max_gp_iters;
+    obs::events().emit(e);
     watchdog_fired_ = true;
   } else if (opt_.max_seconds > 0 && wall_.seconds() >= opt_.max_seconds) {
     RP_WARN("gp watchdog: --max-seconds %.1f exceeded; stopping global placement "
             "early (flow continues with the current positions)", opt_.max_seconds);
     RP_COUNT("guard.watchdog_seconds", 1);
+    obs::Event e = obs::events().make(obs::EventKind::Watchdog, "seconds");
+    e.d0 = opt_.max_seconds;
+    obs::events().emit(e);
     watchdog_fired_ = true;
   }
   return watchdog_fired_;
@@ -247,12 +271,24 @@ GpStats GlobalPlacer::run(Design& d) {
             opt_.routability.max_total_inflation);
         ++stats.inflation_rounds;
         RP_COUNT("gp.inflation_rounds", 1);
+        // Per-round congestion summary (computed unconditionally now: the
+        // event bus wants it whether or not snapshots are on).
+        const CongestionMetrics round_cm = congestion_metrics(rg);
+        {
+          obs::Event e = obs::events().make(obs::EventKind::RouteRound);
+          e.i0 = round + 1;
+          e.i1 = ir.cells_inflated;
+          e.d0 = round_cm.total_overflow;
+          e.d1 = round_cm.rc;
+          e.d2 = ir.mean_inflation;
+          obs::events().emit(e);
+        }
         if (opt_.snapshot != nullptr) {
           opt_.snapshot->record_grid(stage, "inflation",
                                      inflation_map(prob, dens.grid()));
           SnapshotRoundRecord rr;
           rr.round = round + 1;
-          rr.congestion = congestion_metrics(rg);
+          rr.congestion = round_cm;
           rr.cells_inflated = ir.cells_inflated;
           rr.mean_inflation = ir.mean_inflation;
           opt_.snapshot->record_round(rr);

@@ -1,9 +1,11 @@
 #include "core/run_report.hpp"
 
 #include <cstdio>
+#include <optional>
 
 #include "core/build_info.hpp"
 #include "util/json.hpp"
+#include "util/obs_context.hpp"
 #include "util/logger.hpp"
 #include "util/parallel.hpp"
 #include "util/profiler.hpp"
@@ -93,13 +95,24 @@ void write_eval(JsonWriter& w, const EvalResult& e) {
 std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
                             const FlowResult& r, int indent,
                             const RunErrorInfo& err) {
+  // All counter/gauge/profile/event reads go through the run's own context
+  // when the flow carried one (re-entrancy: reporting run A must not read
+  // whatever context happens to be bound right now); binding it here makes
+  // the nested writers — profiler::write_report_block in particular —
+  // resolve the right instances too. Otherwise: the current context, the
+  // historical behavior.
+  std::optional<obs::ScopedBind> report_bind;
+  if (r.obs != nullptr) report_bind.emplace(r.obs.get());
+  const obs::ObsContext& obs_ctx = r.obs != nullptr ? *r.obs : obs::current();
+  const telemetry::Registry& reg = obs_ctx.registry();
+
   JsonWriter w(indent);
   w.begin_object();
-  // v3: adds the optional "parse" block (Bookshelf mode + repair counters)
-  // and the optional "error" block (failed runs); v2 added the optional
-  // "profile" block. Every earlier field is unchanged, so old consumers
-  // keep working.
-  w.kv("schema_version", 3);
+  // v4: adds the "events" block and reads the parse block's repair counts
+  // from the per-run counters; v3 added the optional "parse"/"error"
+  // blocks; v2 the optional "profile" block. Every earlier field is
+  // unchanged, so old consumers keep working.
+  w.kv("schema_version", 4);
   w.kv("tool", "routplace");
 
   if (err.failed) {
@@ -135,23 +148,26 @@ std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
 
   w.kv("mode", meta.mode);
 
-  // Bookshelf input provenance: parse mode + lenient-repair counters (the
-  // telemetry registry is reset when the flow starts, so the parse-time
-  // counters are preserved here, not under "counters").
+  // Bookshelf input provenance: parse mode + lenient-repair counts, read
+  // straight from the run context's "parse.repair.*" counters. (With a
+  // per-run ObsContext the flow no longer resets them — the PR-5 detour
+  // that shuttled these through RunReportMeta is gone.)
   if (!meta.parse_mode.empty()) {
+    static constexpr const char* kRepairFields[] = {
+        "dangling_pins",       "empty_nets",          "duplicate_nodes",
+        "synthesized_net_names", "clamped_fixed_cells", "count_mismatches",
+        "unknown_pl_nodes",
+    };
     w.key("parse").begin_object();
     w.kv("mode", meta.parse_mode);
     w.key("repairs").begin_object();
-    w.kv("dangling_pins", static_cast<std::int64_t>(meta.repairs.dangling_pins));
-    w.kv("empty_nets", static_cast<std::int64_t>(meta.repairs.empty_nets));
-    w.kv("duplicate_nodes", static_cast<std::int64_t>(meta.repairs.duplicate_nodes));
-    w.kv("synthesized_net_names",
-         static_cast<std::int64_t>(meta.repairs.synthesized_net_names));
-    w.kv("clamped_fixed_cells",
-         static_cast<std::int64_t>(meta.repairs.clamped_fixed_cells));
-    w.kv("count_mismatches", static_cast<std::int64_t>(meta.repairs.count_mismatches));
-    w.kv("unknown_pl_nodes", static_cast<std::int64_t>(meta.repairs.unknown_pl_nodes));
-    w.kv("total", static_cast<std::int64_t>(meta.repairs.total()));
+    std::int64_t total = 0;
+    for (const char* f : kRepairFields) {
+      const std::int64_t v = reg.counter_value(std::string("parse.repair.") + f);
+      w.kv(f, v);
+      total += v;
+    }
+    w.kv("total", total);
     w.end_object();
     w.end_object();
   }
@@ -222,12 +238,20 @@ std::string run_report_json(const RunReportMeta& meta, const FlowOptions& opt,
   w.end_object();
   w.kv("stage_total_sec", r.times.total());
 
-  const auto& reg = telemetry::Registry::instance();
   w.key("counters").begin_object();
   for (const auto& [name, v] : reg.counters()) w.kv(name, v);
   w.end_object();
   w.key("gauges").begin_object();
   for (const auto& [name, v] : reg.gauges()) w.kv(name, v);
+  w.end_object();
+
+  // Event-bus totals. The count is deterministic (payloads are pure
+  // functions of the computation; only seq/timestamps are volatile), so
+  // check_progress.py cross-checks it against the NDJSON stream's final seq.
+  w.key("events").begin_object();
+  w.kv("emitted", static_cast<std::int64_t>(obs_ctx.events().events_emitted()));
+  w.kv("flight_capacity",
+       static_cast<std::int64_t>(obs::EventBus::kFlightCapacity));
   w.end_object();
 
   // Like "parallel": runtime provenance, ignored by rp_report_diff and the

@@ -19,12 +19,16 @@
 //   v3 additions: optional "parse" block (Bookshelf input: mode + per-repair
 //   counters) and optional "error" block (failed runs only: code, message,
 //   where = failing file:line, stage, exit_code — see util/error.hpp).
+//   v4 additions: "events" block (event-bus totals); the parse block's
+//   repair counts are now read from the run's ObsContext counters
+//   ("parse.repair.*") instead of a RunReportMeta field, and the whole
+//   report reads counters/gauges through FlowResult::obs when set — so a
+//   report for run A is correct even while run B is bound on this thread.
 
 #include <cstdint>
 #include <string>
 
 #include "core/flow.hpp"
-#include "db/bookshelf.hpp"
 #include "util/error.hpp"
 
 namespace rp {
@@ -42,9 +46,10 @@ struct RunReportMeta {
   double die_h = 0.0;
   double row_height = 0.0;
   /// Bookshelf provenance ("strict"/"lenient"; empty for generated input —
-  /// empty suppresses the report's "parse" block).
+  /// empty suppresses the report's "parse" block). Repair COUNTS are no
+  /// longer carried here: they live in the run's ObsContext ("parse.repair.*"
+  /// counters) and the report reads them from there.
   std::string parse_mode;
-  ParseRepairs repairs;           ///< Lenient-mode repair counters.
 };
 
 /// A failed run's classification for the report's "error" block.

@@ -8,6 +8,7 @@
 
 #include "util/error.hpp"
 #include "util/logger.hpp"
+#include "util/obs_context.hpp"
 #include "util/str.hpp"
 #include "util/telemetry.hpp"
 
@@ -443,6 +444,18 @@ Design read_bookshelf(const fs::path& aux_file, const BookshelfOptions& opt) {
   if (!route.empty() && fs::exists(dir / route)) read_route_into(d, dir / route, ctx);
 
   d.finalize();
+  {
+    // Parse-end summary on the event bus; the total comes from the per-run
+    // "parse.repair.*" counters so it matches the report's parse block.
+    const telemetry::Registry& reg = telemetry::Registry::instance();
+    std::int64_t total = 0;
+    for (const auto& [name, c] : reg.counters_map())
+      if (name.rfind("parse.repair.", 0) == 0) total += c.value;
+    obs::Event e = obs::events().make(
+        obs::EventKind::ParseRepair, ctx.lenient() ? "lenient" : "strict");
+    e.i0 = total;
+    obs::events().emit(e);
+  }
   if (ctx.rep != nullptr && ctx.rep->total() > 0)
     RP_WARN("lenient parse of '%s' made %ld repair(s)", d.name().c_str(),
             ctx.rep->total());

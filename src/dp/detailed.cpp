@@ -8,6 +8,7 @@
 #include "legal/subrow.hpp"
 #include "util/assert.hpp"
 #include "util/logger.hpp"
+#include "util/obs_context.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
@@ -231,6 +232,7 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
     if (d.cell(c).kind == CellKind::StdCell && rows.subrow_of(c) >= 0) order.push_back(c);
 
   for (int pass = 0; pass < opt_.passes; ++pass) {
+    obs::check_interrupt();  // SIGINT/SIGTERM: unwind between DP passes
     RP_TRACE_SPAN("dp/pass" + std::to_string(pass + 1));
     RP_COUNT("dp.passes", 1);
     // ---------------- global swap / relocation ----------------

@@ -7,6 +7,7 @@
 #include "route/estimator.hpp"
 #include "util/assert.hpp"
 #include "util/logger.hpp"
+#include "util/obs_context.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
@@ -169,6 +170,7 @@ RouteStats GlobalRouter::route(const Design& d) {
   }
 
   for (int it = 1; it <= opt_.max_iterations; ++it) {
+    obs::check_interrupt();  // SIGINT/SIGTERM: unwind between rip-up rounds
     stats.iterations = it;
     RP_COUNT("route.ripup_rounds", 1);
     // Identify overflowed edges; bump history.

@@ -6,6 +6,7 @@
 #include "util/assert.hpp"
 #include "util/error.hpp"
 #include "util/logger.hpp"
+#include "util/obs_context.hpp"
 #include "util/parallel.hpp"
 #include "util/profiler.hpp"
 #include "util/telemetry.hpp"
@@ -161,6 +162,13 @@ CgResult minimize_cg_guarded(const CgObjective& f, std::vector<double>& z,
           stage.c_str());
   RP_COUNT("guard.nonfinite_detected", 1);
   RP_COUNT("guard.retries", 1);
+  {
+    obs::Event e = obs::events().make(obs::EventKind::Guard,
+                                      ("cg.retry:" + stage).c_str());
+    e.i0 = 1;  // retry number (single-retry policy)
+    e.d0 = opt.trust_radius * 0.5;
+    obs::events().emit(e);
+  }
   z = last_good;
   if (guard != nullptr) {
     guard->retries = 1;
@@ -173,6 +181,11 @@ CgResult minimize_cg_guarded(const CgObjective& f, std::vector<double>& z,
 
   z = last_good;  // leave the caller with usable coordinates
   RP_COUNT("guard.aborts", 1);
+  {
+    obs::Event e = obs::events().make(obs::EventKind::Guard,
+                                      ("cg.abort:" + stage).c_str());
+    obs::events().emit(e);
+  }
   throw Error(ErrorCode::NumericError,
               "non-finite coordinates/objective survived restore-and-retry",
               "cg.cpp:guard", stage);

@@ -4,7 +4,13 @@
 //   routplace --gen 5000 --map                          # synthetic demo
 //   routplace --help
 //
-// All logic lives in core/cli.{hpp,cpp} so it is unit-tested.
+// All logic lives in core/cli.{hpp,cpp} so it is unit-tested. The only job
+// left here (besides exit-code mapping) is installing the process signal
+// handlers before the flow starts: SIGINT/SIGTERM request a cooperative
+// interrupt (the flow unwinds at the next safe point, writes a partial run
+// report with an "error" block, flushes the flight recorder, exits 7), and
+// fatal signals (SIGSEGV/SIGABRT/SIGBUS/SIGFPE) dump the flight recorder
+// through the async-signal-safe writer before re-raising.
 
 #include <cstdio>
 #include <exception>
@@ -13,14 +19,20 @@
 
 #include "core/cli.hpp"
 #include "util/error.hpp"
+#include "util/obs_context.hpp"
 
 int main(int argc, char** argv) {
   try {
     const std::vector<std::string> args(argv + 1, argv + argc);
-    return rp::run_cli(rp::parse_cli_args(args));
+    const rp::CliConfig cfg = rp::parse_cli_args(args);
+    rp::obs::CrashHandlerOptions ch;
+    ch.flight_path = cfg.flight_json;
+    rp::obs::install_crash_handlers(ch);
+    return rp::run_cli(cfg);
   } catch (const rp::Error& e) {
     // Classified failure: exit code follows the documented contract
-    // (3 parse, 4 validation, 5 numeric, 6 resource — see util/error.hpp).
+    // (3 parse, 4 validation, 5 numeric, 6 resource, 7 interrupted — see
+    // util/error.hpp).
     std::fprintf(stderr, "routplace: %s\n", e.what());
     return e.exit_code();
   } catch (const std::exception& e) {

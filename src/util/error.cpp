@@ -8,6 +8,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::ValidationError: return "ValidationError";
     case ErrorCode::NumericError: return "NumericError";
     case ErrorCode::ResourceError: return "ResourceError";
+    case ErrorCode::Interrupted: return "Interrupted";
   }
   return "UnknownError";
 }
@@ -18,6 +19,7 @@ int error_exit_code(ErrorCode code) {
     case ErrorCode::ValidationError: return 4;
     case ErrorCode::NumericError: return 5;
     case ErrorCode::ResourceError: return 6;
+    case ErrorCode::Interrupted: return 7;
   }
   return 2;
 }

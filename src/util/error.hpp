@@ -12,6 +12,9 @@
 //   NumericError        5    guard rails: NaN/Inf escaping the solver after
 //                            the restore-and-retry path was exhausted
 //   ResourceError       6    environment: unopenable/unwritable files
+//   Interrupted         7    SIGINT/SIGTERM: cooperative cancellation — the
+//                            flow polled obs::check_interrupt() and unwound;
+//                            a partial run report and flight dump are written
 //
 // Exit codes 0 (legal placement), 1 (flow completed, placement not legal) and
 // 2 (CLI usage error) predate the taxonomy and are unchanged.
@@ -34,12 +37,13 @@ enum class ErrorCode {
   ValidationError,  ///< Well-formed input describing an invalid design.
   NumericError,     ///< Non-finite values survived graceful degradation.
   ResourceError,    ///< Files/limits: cannot open, cannot write.
+  Interrupted,      ///< SIGINT/SIGTERM acknowledged at a safe point.
 };
 
 /// Stable name for a code ("ParseError", ...). Never returns null.
 const char* error_code_name(ErrorCode code);
 
-/// Process exit code for a code (3..6; see the table above).
+/// Process exit code for a code (3..7; see the table above).
 int error_exit_code(ErrorCode code);
 
 /// The one exception type the pipeline throws for classified failures.

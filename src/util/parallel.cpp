@@ -64,6 +64,12 @@ void set_pool_profiling(bool on) {
 bool pool_profiling() { return g_pool_profiling; }
 
 struct ThreadPool::Impl {
+  /// Serializes whole jobs across concurrent submitters (distinct threads
+  /// running distinct flows). Held for a job's full lifetime — pooled path
+  /// AND profiled inline path (both touch slots[0] / the cumulative
+  /// profile). Nested regions never take it (they run inline unprofiled),
+  /// so there is no self-deadlock.
+  std::mutex submit_m;
   std::mutex m;
   std::condition_variable cv_work;   // workers wait for a job / shutdown
   std::condition_variable cv_done;   // caller waits for job completion
@@ -259,8 +265,8 @@ void ThreadPool::worker_loop(int worker_id) {
 
 void ThreadPool::run(const ChunkPlan& plan, const std::function<void(int, int)>& fn) {
   if (plan.count <= 0) return;
-  ++regions_;
-  chunks_ += plan.count;
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  chunks_.fetch_add(plan.count, std::memory_order_relaxed);
   // Inline paths: single chunk, single-threaded pool, or nested region.
   // Ascending chunk order keeps results identical to the pooled path.
   if (plan.count == 1 || threads_ == 1 || t_in_region) {
@@ -270,6 +276,7 @@ void ThreadPool::run(const ChunkPlan& plan, const std::function<void(int, int)>&
     const bool profile = !was_in_region && g_pool_profiling;
     t_in_region = true;
     if (profile) {
+      std::unique_lock<std::mutex> submit_lk(impl_->submit_m);
       Impl::WorkerSlot& slot = impl_->slots[0];
       const std::uint64_t r0 = profiler::now_ns();
       for (int c = 0; c < plan.count; ++c) {
@@ -287,6 +294,9 @@ void ThreadPool::run(const ChunkPlan& plan, const std::function<void(int, int)>&
     return;
   }
   Impl& s = *impl_;
+  // One job at a time: a second submitter blocks here until the first job
+  // fully completes (including its profile fold).
+  std::unique_lock<std::mutex> submit_lk(s.submit_m);
   const bool trace = telemetry::trace_enabled();
   const bool instrument = g_pool_profiling || trace;
   const std::uint64_t r0 = instrument ? profiler::now_ns() : 0;

@@ -20,11 +20,15 @@
 //
 // Thread-count policy: set_num_threads() (CLI --threads) > RP_THREADS env >
 // std::thread::hardware_concurrency(). The pool is process-global and lazy;
-// resizing joins and respawns workers.
+// resizing joins and respawns workers. Concurrent SUBMITTERS (two flows on
+// separate ObsContexts in one process) are safe: a submit mutex serializes
+// whole jobs, so regions from different runs never interleave — each run's
+// results stay the pure chunk-order-combined values the contract promises.
 //
 // Telemetry/logging remain main-thread-only: workers never touch the
 // Registry or the Logger. Kernels bump their counters from the caller.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -136,9 +140,10 @@ class ThreadPool {
   /// region run inline on the current thread, in ascending chunk order.
   void run(const ChunkPlan& plan, const std::function<void(int, int)>& fn);
 
-  // Lifetime-stable counters for the run report (main-thread reads).
-  std::int64_t regions_run() const { return regions_; }
-  std::int64_t chunks_run() const { return chunks_; }
+  // Lifetime-stable counters for the run report (atomic: concurrent
+  // submitters from distinct ObsContexts share the pool).
+  std::int64_t regions_run() const { return regions_.load(std::memory_order_relaxed); }
+  std::int64_t chunks_run() const { return chunks_.load(std::memory_order_relaxed); }
 
  private:
   friend PoolProfile pool_profile();
@@ -152,8 +157,8 @@ class ThreadPool {
   struct Impl;
   Impl* impl_;
   int threads_ = 1;
-  std::int64_t regions_ = 0;
-  std::int64_t chunks_ = 0;
+  std::atomic<std::int64_t> regions_{0};
+  std::atomic<std::int64_t> chunks_{0};
 };
 
 /// parallel_for over [0, n): body(begin, end, worker) per chunk.

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 
 #include "util/json.hpp"
+#include "util/obs_context.hpp"
 #include "util/parallel.hpp"
 
 namespace rp::profiler {
@@ -87,10 +89,13 @@ double LatencyHistogram::quantile_us(double q) const {
 
 // ---------------------------------------------------------------- registry
 
-Profiler& Profiler::instance() {
-  static Profiler p;
-  return p;
+Profiler::Profiler() {
+  // Starts at 1 so a zero-initialized macro cache never matches a profiler.
+  static std::atomic<std::uint64_t> counter{0};
+  epoch_ = counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
+
+Profiler& Profiler::instance() { return obs::current().profiler(); }
 
 Region& Profiler::region(const std::string& name) { return regions_[name]; }
 

@@ -25,9 +25,11 @@
 // on/off and any thread count produce byte-identical placements (enforced
 // by scripts/check_threads_determinism.py).
 //
-// Like the telemetry registry, region slots are main-thread-only by
-// contract and never deallocated: reset() zeroes histograms in place, so
-// RP_PROFILE_REGION's cached slot pointers stay valid across flow runs.
+// Like the telemetry registry, the region registry is PER-RUN since PR 7:
+// one Profiler per obs::ObsContext, with instance() resolving the current
+// thread's bound context. Slots are never deallocated within a profiler —
+// reset() zeroes histograms in place — and RP_PROFILE_REGION's epoch-stamped
+// thread_local cache re-resolves whenever the bound context changes.
 
 #include <cstdint>
 #include <map>
@@ -82,21 +84,31 @@ struct Region {
   LatencyHistogram hist;
 };
 
-/// Process-global registry of profiled regions. Main-thread-only, like the
-/// telemetry Registry; slot addresses are stable for the process lifetime.
+/// Registry of profiled regions. One per obs::ObsContext (like the
+/// telemetry Registry); slot addresses are stable for the profiler's
+/// lifetime. Main-thread-only within a context.
 class Profiler {
  public:
+  Profiler();
+
+  /// The current thread's profiler: the bound ObsContext's, else the
+  /// process default's (see util/obs_context.hpp).
   static Profiler& instance();
 
-  /// Find-or-create. The reference stays valid forever (reset() zeroes
-  /// histograms but never moves slots) — safe to cache at call sites.
+  /// Find-or-create. The reference stays valid for the profiler's lifetime
+  /// (reset() zeroes histograms but never moves slots) — safe to cache at
+  /// call sites together with epoch().
   Region& region(const std::string& name);
+
+  /// Process-unique id minted at construction; RP_PROFILE_REGION compares
+  /// it to decide whether its cached slot belongs to this profiler.
+  std::uint64_t epoch() const { return epoch_; }
 
   /// Record one sample into the named region (map lookup per call; use
   /// RP_PROFILE_REGION's cached slot on hot paths instead).
   void record(const std::string& name, std::uint64_t ns);
 
-  /// Zero every histogram in place (slot addresses preserved).
+  /// Zero every histogram in place (slot addresses and epoch preserved).
   void reset();
 
   /// Name-sorted snapshot for the run report.
@@ -104,6 +116,7 @@ class Profiler {
 
  private:
   std::map<std::string, Region> regions_;  ///< Node-based: stable addresses.
+  std::uint64_t epoch_ = 0;
 };
 
 /// Master switch. set_enabled() also toggles the thread pool's busy/wait
@@ -154,10 +167,22 @@ class ScopedRegion {
 #define RP_PROFILER_CONCAT2(a, b) a##b
 #define RP_PROFILER_CONCAT(a, b) RP_PROFILER_CONCAT2(a, b)
 
-/// Scoped latency sample with a statically cached region slot: with
-/// profiling off this is one branch; no string is built either way.
-#define RP_PROFILE_REGION(name)                                                \
-  static ::rp::profiler::Region& RP_PROFILER_CONCAT(rp_pf_region_, __LINE__) = \
-      ::rp::profiler::Profiler::instance().region(name);                       \
-  ::rp::profiler::ScopedRegion RP_PROFILER_CONCAT(rp_pf_scope_, __LINE__)(     \
-      &RP_PROFILER_CONCAT(rp_pf_region_, __LINE__))
+/// Scoped latency sample with a per-call-site cached region slot. The cache
+/// is thread_local and stamped with the owning profiler's epoch, so context
+/// switches force re-resolution and stale slots are never dereferenced
+/// (same scheme as RP_COUNT; see util/obs_context.hpp). With profiling off
+/// the whole thing is one branch; no string is built either way.
+#define RP_PROFILE_REGION(name)                                                  \
+  static thread_local ::rp::profiler::Region* RP_PROFILER_CONCAT(                \
+      rp_pf_slot_, __LINE__) = nullptr;                                          \
+  static thread_local std::uint64_t RP_PROFILER_CONCAT(rp_pf_epoch_,             \
+                                                       __LINE__) = 0;            \
+  if (::rp::profiler::enabled()) {                                               \
+    ::rp::profiler::Profiler& rp_pf_prof_ = ::rp::profiler::Profiler::instance();\
+    if (RP_PROFILER_CONCAT(rp_pf_epoch_, __LINE__) != rp_pf_prof_.epoch()) {     \
+      RP_PROFILER_CONCAT(rp_pf_slot_, __LINE__) = &rp_pf_prof_.region(name);     \
+      RP_PROFILER_CONCAT(rp_pf_epoch_, __LINE__) = rp_pf_prof_.epoch();          \
+    }                                                                            \
+  }                                                                              \
+  ::rp::profiler::ScopedRegion RP_PROFILER_CONCAT(rp_pf_scope_, __LINE__)(       \
+      RP_PROFILER_CONCAT(rp_pf_slot_, __LINE__))

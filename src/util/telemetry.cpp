@@ -1,12 +1,13 @@
 #include "util/telemetry.hpp"
 
-#include <chrono>
+#include <atomic>
 #include <cstdio>
 
 #include <algorithm>
 
 #include "util/json.hpp"
 #include "util/logger.hpp"
+#include "util/obs_context.hpp"
 #include "util/profiler.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -15,10 +16,19 @@
 
 namespace rp::telemetry {
 
-Registry& Registry::instance() {
-  static Registry r;
-  return r;
+namespace {
+
+std::uint64_t next_epoch() {
+  // Starts at 1 so a zero-initialized macro cache never matches a registry.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
+
+}  // namespace
+
+Registry::Registry() : epoch_(next_epoch()) {}
+
+Registry& Registry::instance() { return obs::current().registry(); }
 
 Counter& Registry::counter(const std::string& name) { return counters_[name]; }
 Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
@@ -54,76 +64,81 @@ std::vector<std::pair<std::string, double>> Registry::gauges() const {
 
 // ------------------------------------------------------------------ trace
 
-namespace {
-
 using Clock = std::chrono::steady_clock;
 
-bool g_trace_on = false;
-Clock::time_point g_trace_epoch;
-std::uint64_t g_trace_epoch_ns = 0;  ///< profiler::now_ns() at start_trace().
-int g_span_depth = 0;
-std::vector<TraceEvent> g_events;
-
-}  // namespace
-
-void start_trace() {
-  g_events.clear();
-  g_span_depth = 0;
-  g_trace_epoch = Clock::now();
-  g_trace_epoch_ns = profiler::now_ns();
-  g_trace_on = true;
+void TraceBuffer::start() {
+  events_.clear();
+  span_depth_ = 0;
+  epoch_ = Clock::now();
+  epoch_ns_ = profiler::now_ns();
+  on_ = true;
 }
 
-void stop_trace() { g_trace_on = false; }
-
-bool trace_enabled() { return g_trace_on; }
-
-double trace_now_us() {
-  if (!g_trace_on) return 0.0;
-  return std::chrono::duration<double, std::micro>(Clock::now() - g_trace_epoch).count();
+double TraceBuffer::now_us() const {
+  if (!on_) return 0.0;
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch_).count();
 }
 
-const std::vector<TraceEvent>& trace_events() { return g_events; }
-
-void emit_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns, int tid) {
-  if (!g_trace_on) return;
+void TraceBuffer::emit_span(const char* name, std::uint64_t start_ns,
+                            std::uint64_t dur_ns, int tid) {
+  if (!on_) return;
   TraceEvent e;
   e.name = name;
-  e.ts_us = start_ns >= g_trace_epoch_ns
-                ? static_cast<double>(start_ns - g_trace_epoch_ns) / 1000.0
+  e.ts_us = start_ns >= epoch_ns_
+                ? static_cast<double>(start_ns - epoch_ns_) / 1000.0
                 : 0.0;
   e.dur_us = static_cast<double>(dur_ns) / 1000.0;
   e.tid = tid;
-  g_events.push_back(std::move(e));
+  events_.push_back(std::move(e));
 }
 
-TraceSpan::TraceSpan(std::string name)
-    : trace_(g_trace_on), profile_(profiler::enabled()) {
-  if (!trace_ && !profile_) return;
+void TraceBuffer::push(TraceEvent e) {
+  if (on_) events_.push_back(std::move(e));
+}
+
+void start_trace() { obs::current().trace().start(); }
+void stop_trace() { obs::current().trace().stop(); }
+bool trace_enabled() { return obs::current().trace().enabled(); }
+double trace_now_us() { return obs::current().trace().now_us(); }
+const std::vector<TraceEvent>& trace_events() { return obs::current().trace().events(); }
+
+void emit_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns, int tid) {
+  obs::current().trace().emit_span(name, start_ns, dur_ns, tid);
+}
+
+TraceSpan::TraceSpan(std::string name) {
+  TraceBuffer& tb = obs::current().trace();
+  const bool trace = tb.enabled();
+  const bool profile = profiler::enabled();
+  if (!trace && !profile) return;
   name_ = std::move(name);
   t0_ns_ = profiler::now_ns();
-  if (trace_) ++g_span_depth;
+  if (profile) prof_ = &profiler::Profiler::instance();
+  if (trace) {
+    buf_ = &tb;
+    tb.enter_span();
+  }
 }
 
 TraceSpan::~TraceSpan() {
-  if (!trace_ && !profile_) return;
+  if (buf_ == nullptr && prof_ == nullptr) return;
   const std::uint64_t dur_ns = profiler::now_ns() - t0_ns_;
-  if (profile_) profiler::Profiler::instance().record(name_, dur_ns);
-  if (!trace_) return;
-  --g_span_depth;
+  if (prof_ != nullptr) prof_->record(name_, dur_ns);
+  if (buf_ == nullptr) return;
   TraceEvent e;
   e.name = std::move(name_);
-  e.ts_us = t0_ns_ >= g_trace_epoch_ns
-                ? static_cast<double>(t0_ns_ - g_trace_epoch_ns) / 1000.0
+  e.ts_us = t0_ns_ >= buf_->epoch_ns()
+                ? static_cast<double>(t0_ns_ - buf_->epoch_ns()) / 1000.0
                 : 0.0;
   e.dur_us = static_cast<double>(dur_ns) / 1000.0;
-  e.depth = g_span_depth;
-  g_events.push_back(std::move(e));
+  e.depth = buf_->exit_span();
+  buf_->push(std::move(e));
 }
 
 std::string trace_json() {
+  const std::vector<TraceEvent>& events = trace_events();
   int max_tid = 0;
-  for (const TraceEvent& e : g_events) max_tid = std::max(max_tid, e.tid);
+  for (const TraceEvent& e : events) max_tid = std::max(max_tid, e.tid);
   JsonWriter w;
   w.begin_object();
   w.key("traceEvents").begin_array();
@@ -150,7 +165,7 @@ std::string trace_json() {
     w.end_object();
     w.end_object();
   }
-  for (const TraceEvent& e : g_events) {
+  for (const TraceEvent& e : events) {
     w.begin_object();
     w.kv("name", e.name);
     w.kv("cat", e.tid == 0 ? "flow" : "pool");

@@ -162,7 +162,7 @@ TEST(Cli, EndToEndEmitsReportAndTrace) {
 
   // Report: schema-valid and self-consistent.
   const JsonValue rep = json_parse(slurp(report));
-  EXPECT_EQ(rep.at("schema_version").num, 3.0);
+  EXPECT_EQ(rep.at("schema_version").num, 4.0);
   EXPECT_FALSE(rep.has("profile"));  // off by default — the block is absent
   EXPECT_EQ(rep.at("design").at("name").str, "gen300");
   EXPECT_GT(rep.at("eval").at("hpwl").num, 0.0);
