@@ -24,12 +24,14 @@
 #include "legal/legalizer.hpp"
 #include "legal/macro_legalizer.hpp"
 #include "model/density.hpp"
+#include "model/incremental.hpp"
 #include "model/wirelength.hpp"
 #include "route/estimator.hpp"
 #include "route/router.hpp"
 #include "util/logger.hpp"
 #include "util/obs_context.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -265,6 +267,164 @@ void emit_speedup_rows() {
   parallel::set_num_threads(1);
 }
 
+// ------------------------------------------------- SIMD speedup JSONL rows
+
+/// Time the vectorizable kernels with dispatch forced off (scalar) and back
+/// on auto, single-threaded so the ratio isolates the vector win. Appends
+/// {"schema":"simd_speedup",...} rows keyed kernel.simd.<name>.t1.* by
+/// bench_trend.py, which floors speedup_vs_off at 1.0 (dispatch must never
+/// make a kernel slower than the scalar path it replaces).
+void emit_simd_speedup_rows() {
+  using namespace rp;
+  parallel::set_num_threads(1);
+  // Realistic mixed-size fanout (the suite's default avg degree of 3.4
+  // leaves the per-net exp batches tail-dominated; multi-pin nets are where
+  // the vector lanes fill up).
+  BenchmarkSpec spec = medium_spec(99);
+  spec.avg_net_degree = 8.0;
+  spec.max_net_degree = 48;
+  const Design d = generate_benchmark(spec);
+  PlaceProblem p = make_problem(d);
+  const auto wl = make_wirelength_model("WA", 4.0);
+  DensityConfig cfg;
+  DensityModel dm(p, cfg);
+  std::vector<double> gx(p.nodes.size()), gy(p.nodes.size());
+  // CG-style BLAS loop: the solver's per-iteration axpy/dot pattern on
+  // vectors the size of the placement problem.
+  std::vector<double> vx(p.nodes.size(), 1.0), vy(p.nodes.size(), 2.0);
+
+  struct Kernel {
+    const char* name;
+    std::function<void()> fn;
+  };
+  const Kernel kernels[] = {
+      {"wirelength_wa", [&] {
+         std::fill(gx.begin(), gx.end(), 0.0);
+         std::fill(gy.begin(), gy.end(), 0.0);
+         benchmark::DoNotOptimize(wl->eval(p, gx, gy));
+       }},
+      {"density", [&] {
+         std::fill(gx.begin(), gx.end(), 0.0);
+         std::fill(gy.begin(), gy.end(), 0.0);
+         benchmark::DoNotOptimize(dm.eval(p, gx, gy));
+       }},
+      {"cg_blas", [&] {
+         const simd::Ops& ops = simd::ops();
+         ops.axpy(0.5, vx.data(), vy.size(), vy.data());
+         benchmark::DoNotOptimize(ops.dot(vx.data(), vy.data(), vy.size()));
+       }},
+  };
+
+  const char* json_path = std::getenv("RP_BENCH_JSON");
+  std::ofstream json;
+  if (json_path != nullptr && json_path[0] != '\0')
+    json.open(json_path, std::ios::app);
+
+  std::printf("\nsimd kernel speedup (host: %s, threads: 1)\n",
+              simd::level_name(simd::resolve("auto")));
+  std::printf("%-16s %14s %14s %10s\n", "kernel", "scalar s/iter",
+              "simd s/iter", "speedup");
+  for (const Kernel& k : kernels) {
+    // Interleave the arms (off/auto/off/auto...) so host drift on a shared
+    // box hits both equally; min-of-reps discards preempted windows.
+    double t_off = 1e300, t_auto = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      simd::set_from_string("off");
+      t_off = std::min(t_off, time_kernel(k.fn));
+      simd::set_from_string("auto");
+      t_auto = std::min(t_auto, time_kernel(k.fn));
+    }
+    const double speedup = t_auto > 0.0 ? t_off / t_auto : 0.0;
+    std::printf("%-16s %14.3e %14.3e %9.2fx\n", k.name, t_off, t_auto, speedup);
+    if (json.is_open())
+      json << "{\"schema\":\"simd_speedup\",\"kernel\":\"" << k.name
+           << "\",\"threads\":1,\"off_sec\":" << t_off
+           << ",\"auto_sec\":" << t_auto
+           << ",\"speedup_vs_off\":" << speedup << "}\n";
+  }
+  simd::set_from_string("auto");
+}
+
+// ---------------------------------------- DP candidate-eval JSONL row
+
+/// Cost of scoring one detailed-placement candidate move: the pre-PR-8
+/// mutate-and-measure path (write the position, walk every pin of every net
+/// on the cell, restore) vs IncrementalEval::trial_move (cached boxes,
+/// second extremes, no mutation). Appends a {"schema":"dp_candidate_speedup"}
+/// row keyed kernel.dp_candidate_eval.t1.speedup_vs_full.
+void emit_dp_candidate_rows() {
+  using namespace rp;
+  // Higher-fanout design than the kernel suite's: the full path is
+  // O(Σ degree of the cell's nets) per candidate while the incremental one
+  // is O(#nets), so realistic mixed-size fanout is where the gap lives.
+  BenchmarkSpec spec = medium_spec(99);
+  spec.avg_net_degree = 8.0;
+  spec.max_net_degree = 48;
+  Design d = generate_benchmark(spec);
+  IncrementalEval inc(d);
+  const std::vector<CellId>& movable = d.movable_cells();
+  constexpr int kBatch = 1024;
+
+  // Deterministic candidate list: each sampled cell nudged by a cell-width.
+  std::vector<std::pair<CellId, Point>> cand;
+  cand.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    const CellId c = movable[static_cast<std::size_t>(i * 7) % movable.size()];
+    const Cell& k = d.cell(c);
+    cand.emplace_back(c, Point{k.pos.x + k.w, k.pos.y});
+  }
+
+  double sink = 0.0;
+  std::vector<NetId> nets;
+  // The old cost per candidate: collect + dedupe the cell's nets, measure
+  // the before cost, mutate, measure again, restore. (The incremental path
+  // amortizes the collection into construction and the before cost into one
+  // cached sum per cell, so its per-candidate cost is trial_move alone.)
+  const auto full_eval = [&] {
+    for (const auto& [c, target] : cand) {
+      nets.clear();
+      for (const PinId pin : d.cell(c).pins) nets.push_back(d.pin(pin).net);
+      std::sort(nets.begin(), nets.end());
+      nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+      double before = 0.0;
+      for (const NetId n : nets) before += d.net(n).weight * d.net_hpwl(n);
+      const Point old = d.cell(c).pos;
+      d.cell(c).pos = target;
+      double after = 0.0;
+      for (const NetId n : nets) after += d.net(n).weight * d.net_hpwl(n);
+      d.cell(c).pos = old;
+      sink += before - after;
+    }
+  };
+  const auto inc_eval = [&] {
+    for (const auto& [c, target] : cand) sink += inc.trial_move(c, target);
+  };
+  double full_sec = 1e300, inc_sec = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {  // interleaved arms, min-of-reps
+    full_sec = std::min(full_sec, time_kernel(full_eval));
+    inc_sec = std::min(inc_sec, time_kernel(inc_eval));
+  }
+  full_sec /= kBatch;
+  inc_sec /= kBatch;
+  benchmark::DoNotOptimize(sink);
+  const double speedup = inc_sec > 0.0 ? full_sec / inc_sec : 0.0;
+
+  std::printf("\ndp candidate evaluation (per move trial)\n");
+  std::printf("  full re-eval          %8.1f ns\n", full_sec * 1e9);
+  std::printf("  incremental delta     %8.1f ns  (%.2fx)\n", inc_sec * 1e9,
+              speedup);
+
+  const char* json_path = std::getenv("RP_BENCH_JSON");
+  if (json_path != nullptr && json_path[0] != '\0') {
+    std::ofstream json(json_path, std::ios::app);
+    if (json.is_open())
+      json << "{\"schema\":\"dp_candidate_speedup\",\"threads\":1"
+           << ",\"full_sec\":" << full_sec
+           << ",\"incremental_sec\":" << inc_sec
+           << ",\"speedup_vs_full\":" << speedup << "}\n";
+  }
+}
+
 // ----------------------------------------------- event-bus overhead JSONL row
 
 /// Measure the observability event bus (PR 7): raw emit cost into the ring,
@@ -355,6 +515,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   emit_speedup_rows();
+  emit_simd_speedup_rows();
+  emit_dp_candidate_rows();
   emit_event_bus_rows();
   return 0;
 }

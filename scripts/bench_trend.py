@@ -7,6 +7,10 @@ The bench binaries append machine-readable JSONL rows to $RP_BENCH_JSON:
     per flow run, same schema as ``routplace --report-json``),
   * kernel speedups    (``{"schema": "kernel_speedup", ...}`` from
     bench_micro_kernels' thread sweep),
+  * SIMD speedups      (``{"schema": "simd_speedup", ...}``: scalar vs
+    dispatched kernel time at one thread),
+  * DP candidate cost  (``{"schema": "dp_candidate_speedup", ...}``:
+    mutate-and-measure vs incremental-delta move scoring),
   * profiler regions   (``{"schema": "profile_region", ...}`` when the run
     was profiled via RP_PROFILE=1),
   * event-bus overhead (``{"schema": "event_bus_overhead", ...}`` from
@@ -18,6 +22,8 @@ file: a flat ``metrics`` map keyed
 
   flow.<design>.<mode>.<metric>      hpwl / scaled_hpwl / rc / stage_total_sec
   kernel.<kernel>.t<threads>.<m>     sec_per_iter / speedup_vs_1
+  kernel.simd.<kernel>.t1.<m>        off_sec / auto_sec / speedup_vs_off
+  kernel.dp_candidate_eval.t1.<m>    full_sec / incremental_sec / speedup_vs_full
   region.<bench>.<flow>.<region>.<m> total_ms / p50_us / p95_us / p99_us
 
 Each metric records its value (mean over rows), sample count, and a *kind*
@@ -29,6 +35,11 @@ that decides the regression direction and default noise tolerance:
   limit          absolute ceiling; the CURRENT value must stay under a fixed
                  limit regardless of the baseline (eventbus.overhead_ratio
                  <= 1.02: the event bus may not cost a flow more than 2%)
+  speedup        higher is better AND floored at 1.0: the current value must
+                 not drop below 1.0 - tol regardless of the baseline (a SIMD
+                 kernel may never run slower than the scalar path it
+                 replaces; incremental scoring may never lose to the full
+                 re-evaluation it shortcuts)
 
 ``compare`` checks a current trend file against a committed baseline and
 exits nonzero if any shared metric regressed beyond its tolerance — this is
@@ -45,6 +56,12 @@ import time
 
 TIME_SUFFIXES = ("_sec", "_ms", "_us", "_ns", "sec_per_iter", "stage_total_sec")
 HIGHER_BETTER_SUFFIXES = ("speedup_vs_1", "events_per_sec")
+
+# Speedup-vs-reference metrics: trajectory-gated like higher_better, plus an
+# absolute floor — the current value must stay >= 1.0 - tol even when the
+# baseline predates the metric.
+SPEEDUP_SUFFIXES = ("speedup_vs_off", "speedup_vs_full")
+SPEEDUP_FLOOR = 1.0
 
 # Absolute ceilings: key suffix -> max allowed CURRENT value. These gate a
 # contract ("streaming may not cost >2% flow time"), not a trajectory, so
@@ -67,6 +84,8 @@ REGION_METRICS = ("total_ms", "p50_us", "p95_us", "p99_us")
 def metric_kind(key):
     if metric_limit(key) is not None:
         return "limit"
+    if key.endswith(SPEEDUP_SUFFIXES):
+        return "speedup"
     if key.endswith(HIGHER_BETTER_SUFFIXES):
         return "higher_better"
     if key.endswith(TIME_SUFFIXES):
@@ -116,6 +135,17 @@ def metrics_from_rows(rows):
             base = "kernel.%s.t%d" % (row.get("kernel", "?"), int(row.get("threads", 0)))
             add(base + ".sec_per_iter", row.get("sec_per_iter"))
             add(base + ".speedup_vs_1", row.get("speedup_vs_1"))
+        elif schema == "simd_speedup":
+            base = "kernel.simd.%s.t%d" % (
+                row.get("kernel", "?"), int(row.get("threads", 1)))
+            add(base + ".off_sec", row.get("off_sec"))
+            add(base + ".auto_sec", row.get("auto_sec"))
+            add(base + ".speedup_vs_off", row.get("speedup_vs_off"))
+        elif schema == "dp_candidate_speedup":
+            base = "kernel.dp_candidate_eval.t%d" % int(row.get("threads", 1))
+            add(base + ".full_sec", row.get("full_sec"))
+            add(base + ".incremental_sec", row.get("incremental_sec"))
+            add(base + ".speedup_vs_full", row.get("speedup_vs_full"))
         elif schema == "profile_region":
             base = "region.%s.%s.%s" % (
                 row.get("bench", "?"), row.get("flow", "?"), row.get("region", "?"))
@@ -198,6 +228,17 @@ def cmd_compare(args):
         if c > limit:
             regressions.append((key, limit, c, c / limit))
 
+    # Speedup metrics carry an absolute floor on the current file alone: a
+    # dispatched kernel that lost to its scalar/full reference fails even if
+    # the baseline never measured it.
+    for key in sorted(cm):
+        if metric_kind(key) != "speedup":
+            continue
+        c = cm[key]["value"]
+        checked += 1
+        if c < SPEEDUP_FLOOR - args.time_tol:
+            regressions.append((key, SPEEDUP_FLOOR, c, c / SPEEDUP_FLOOR))
+
     for key in sorted(set(bm) & set(cm)):
         b, c = bm[key]["value"], cm[key]["value"]
         kind = bm[key].get("kind", metric_kind(key))
@@ -210,7 +251,7 @@ def cmd_compare(args):
         if b == 0.0:
             continue
         ratio = c / b
-        if kind == "higher_better":
+        if kind in ("higher_better", "speedup"):
             if ratio < 1.0 - tol:
                 regressions.append((key, b, c, ratio))
             elif ratio > 1.0 + tol:

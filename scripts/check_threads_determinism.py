@@ -1,21 +1,30 @@
 #!/usr/bin/env python3
-"""Determinism gate for the parallel kernels.
+"""Determinism gate for the parallel + SIMD + incremental kernels.
 
-Runs the full flow twice on the same generated design — once with
---threads 1 and once with --threads <max> --profile (the profiled config:
-one comparison proves both thread- AND profiler-invariance at no extra
-runtime) — and demands that everything observable is IDENTICAL:
+Runs the full flow on the same generated design across the configuration
+matrix the determinism contract covers, and demands that everything
+observable is IDENTICAL between every pair:
+
+  run_1: --threads 1,     RP_SIMD=off,  --incremental-eval off
+  run_n: --threads <max>, RP_SIMD=auto, --incremental-eval on, --profile
+  run_s: --threads 1,     RP_SIMD=auto, --incremental-eval on,
+         RP_CHECK_INCREMENTAL=1 (every cached/trialed cost self-verifies
+         against a from-scratch recompute and aborts on a bit mismatch)
+
+run_1 vs run_n proves thread- AND vector- AND incremental- AND profiler-
+invariance in one comparison; run_1 vs run_s isolates the SIMD/incremental
+axes at a fixed thread count with the cross-checker armed. Identical means:
 
 1. the .pl placement files are byte-identical;
 2. every snapshot artifact (manifests, grids, convergence history) is
    byte-identical;
-3. rp_report_diff reports zero differences between the two run reports
-   (its default ignore list covers the "parallel" provenance block, the
-   only section allowed to differ);
-4. a strict Python comparison of the two reports after dropping only the
+3. rp_report_diff reports zero differences between the run reports (its
+   default ignore list covers the "parallel" and "simd" provenance blocks,
+   the only sections allowed to differ);
+4. a strict Python comparison of the reports after dropping only the
    documented volatile keys (timings, RSS, build stamp, output paths,
-   parallel + profile blocks) — so a new thread-dependent field can't hide
-   behind a loose tolerance;
+   parallel + simd + profile blocks) — so a new thread- or dispatch-
+   dependent field can't hide behind a loose tolerance;
 5. the --progress-ndjson event streams match line for line once the two
    documented volatile fields per line ("seq", "t_ms") are dropped —
    event PAYLOADS are part of the determinism contract
@@ -37,10 +46,11 @@ FAILURES = []
 
 # Keys that legitimately differ between two identical runs (mirrors
 # report_diff_default_ignores() in src/core/report_diff.cpp). "profile" is
-# here because the t1 run is unprofiled and the tN run profiled — the block's
-# presence itself must be ignorable.
+# here because only run_n is profiled — the block's presence itself must be
+# ignorable; "simd" carries the requested/active dispatch level and the
+# incremental-eval switch, which differ across the matrix by construction.
 VOLATILE_KEYS = {"stage_times", "stage_total_sec", "peak_rss_kb", "build",
-                 "snapshot_dir", "parallel", "profile"}
+                 "snapshot_dir", "parallel", "simd", "profile"}
 
 
 def check(cond, what):
@@ -72,7 +82,8 @@ def ndjson_payloads(path):
     return lines
 
 
-def run_flow(routplace, outdir, threads, profile=False):
+def run_flow(routplace, outdir, threads, profile=False, env=None,
+             extra_args=()):
     outdir.mkdir()
     report = outdir / "run.report.json"
     snap = outdir / "snapshots"
@@ -80,16 +91,21 @@ def run_flow(routplace, outdir, threads, profile=False):
            "--threads", str(threads), "--out", str(outdir / "out.pl"),
            "--report-json", str(report), "--snapshot-dir", str(snap),
            "--progress-ndjson", str(outdir / "progress.ndjson")]
+    cmd += list(extra_args)
     if profile:
         cmd.append("--profile")
-    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=280)
+    run_env = dict(os.environ)
+    run_env.update(env or {})
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=280,
+                          env=run_env)
+    label = outdir.name
     if not check(proc.returncode == 0,
-                 f"routplace --threads {threads} exited {proc.returncode}:\n"
+                 f"routplace [{label}] exited {proc.returncode}:\n"
                  f"{proc.stderr[-2000:]}"):
         return None
-    check(report.exists(), f"--threads {threads}: report not written")
+    check(report.exists(), f"[{label}]: report not written")
     check((snap / "manifest.json").exists(),
-          f"--threads {threads}: snapshots not written")
+          f"[{label}]: snapshots not written")
     return outdir
 
 
@@ -98,13 +114,57 @@ def compare_trees(dir_a, dir_b):
     files_a = {p.relative_to(dir_a) for p in dir_a.rglob("*") if p.is_file()}
     files_b = {p.relative_to(dir_b) for p in dir_b.rglob("*") if p.is_file()}
     check(files_a == files_b,
-          f"file sets differ: only-1t={sorted(map(str, files_a - files_b))} "
-          f"only-Nt={sorted(map(str, files_b - files_a))}")
+          f"file sets differ ({dir_a.name} vs {dir_b.name}): "
+          f"only-a={sorted(map(str, files_a - files_b))} "
+          f"only-b={sorted(map(str, files_b - files_a))}")
     for rel in sorted(files_a & files_b):
         if rel.name == "run.report.json" or rel.suffix == ".ndjson":
             continue  # reports/streams are compared semantically below
         check(filecmp.cmp(dir_a / rel, dir_b / rel, shallow=False),
-              f"'{rel}' differs between thread counts")
+              f"'{rel}' differs between {dir_a.name} and {dir_b.name}")
+
+
+def compare_runs(report_diff, run_a, run_b):
+    """Apply checks 1-5 of the contract to one pair of runs."""
+    pair = f"{run_a.name} vs {run_b.name}"
+    compare_trees(run_a, run_b)
+
+    # rp_report_diff must see zero differences (reports + snapshots).
+    proc = subprocess.run(
+        [str(report_diff), str(run_a / "run.report.json"),
+         str(run_b / "run.report.json"),
+         "--snapshots", str(run_a / "snapshots"), str(run_b / "snapshots")],
+        capture_output=True, text=True, timeout=120)
+    check(proc.returncode == 0,
+          f"rp_report_diff [{pair}] exited {proc.returncode}:\n"
+          f"{proc.stdout[-2000:]}")
+    check("identical" in proc.stdout,
+          f"rp_report_diff [{pair}] did not report 'identical':\n"
+          f"{proc.stdout[-2000:]}")
+
+    # Strict comparison: everything outside the documented volatile keys
+    # must match EXACTLY (no tolerance).
+    doc_a = scrub(json.loads((run_a / "run.report.json").read_text()))
+    doc_b = scrub(json.loads((run_b / "run.report.json").read_text()))
+    check(doc_a == doc_b,
+          f"scrubbed reports differ [{pair}] exactly where they must not "
+          "(run with rp_report_diff for details)")
+
+    # Event-stream determinism: identical payload sequences (the stream is
+    # written by the flow's main thread, so the configuration must not
+    # change what — or in which order — events are emitted).
+    ev_a = ndjson_payloads(run_a / "progress.ndjson")
+    ev_b = ndjson_payloads(run_b / "progress.ndjson")
+    check(len(ev_a) == len(ev_b),
+          f"progress streams differ in length [{pair}]: "
+          f"{len(ev_a)} vs {len(ev_b)}")
+    if len(ev_a) == len(ev_b):
+        for i, (a, b) in enumerate(zip(ev_a, ev_b)):
+            if not check(a == b,
+                         f"progress line {i + 1} payload differs [{pair}]:\n"
+                         f"  a: {a}\n  b: {b}"):
+                break
+    check(len(ev_a) > 0, f"progress stream is empty [{pair}]")
 
 
 def main():
@@ -121,65 +181,51 @@ def main():
 
     with tempfile.TemporaryDirectory(prefix="rp_threads_det_") as tmp:
         tmp = Path(tmp)
-        run_1 = run_flow(routplace, tmp / "t1", 1)
-        run_n = run_flow(routplace, tmp / "tN", max_threads, profile=True)
-        if run_1 is None or run_n is None:
+        run_1 = run_flow(routplace, tmp / "t1", 1,
+                         env={"RP_SIMD": "off"},
+                         extra_args=["--incremental-eval", "off"])
+        run_n = run_flow(routplace, tmp / "tN", max_threads, profile=True,
+                         env={"RP_SIMD": "auto"},
+                         extra_args=["--incremental-eval", "on"])
+        run_s = run_flow(routplace, tmp / "t1simd", 1,
+                         env={"RP_SIMD": "auto", "RP_CHECK_INCREMENTAL": "1"},
+                         extra_args=["--incremental-eval", "on"])
+        if run_1 is None or run_n is None or run_s is None:
             print("\n".join(FAILURES))
             return 1
 
-        compare_trees(run_1, run_n)
+        compare_runs(report_diff, run_1, run_n)
+        compare_runs(report_diff, run_1, run_s)
 
-        # rp_report_diff must see zero differences (reports + snapshots).
-        proc = subprocess.run(
-            [str(report_diff), str(run_1 / "run.report.json"),
-             str(run_n / "run.report.json"),
-             "--snapshots", str(run_1 / "snapshots"), str(run_n / "snapshots")],
-            capture_output=True, text=True, timeout=120)
-        check(proc.returncode == 0,
-              f"rp_report_diff exited {proc.returncode}:\n{proc.stdout[-2000:]}")
-        check("identical" in proc.stdout,
-              f"rp_report_diff did not report 'identical':\n{proc.stdout[-2000:]}")
-
-        # Strict comparison: everything outside the documented volatile keys
-        # must match EXACTLY (no tolerance).
-        doc_1 = scrub(json.loads((run_1 / "run.report.json").read_text()))
-        doc_n = scrub(json.loads((run_n / "run.report.json").read_text()))
-        check(doc_1 == doc_n,
-              "scrubbed reports differ exactly where they must not "
-              "(run with rp_report_diff for details)")
-
-        # Event-stream determinism: identical payload sequences (the stream
-        # is written by the flow's main thread, so thread count must not
-        # change what — or in which order — events are emitted).
-        ev_1 = ndjson_payloads(run_1 / "progress.ndjson")
-        ev_n = ndjson_payloads(run_n / "progress.ndjson")
-        check(len(ev_1) == len(ev_n),
-              f"progress streams differ in length: {len(ev_1)} vs {len(ev_n)}")
-        if len(ev_1) == len(ev_n):
-            for i, (a, b) in enumerate(zip(ev_1, ev_n)):
-                if not check(a == b,
-                             f"progress line {i + 1} payload differs:\n"
-                             f"  t1: {a}\n  tN: {b}"):
-                    break
-        check(len(ev_1) > 0, "progress stream is empty")
-
-        # Sanity: the N-thread run really used N threads and was profiled,
-        # while the 1-thread run was not (the asymmetry is the point).
+        # Sanity: the runs really exercised the asymmetric configurations
+        # (the asymmetry is the point).
+        rep_1 = json.loads((run_1 / "run.report.json").read_text())
         rep_n = json.loads((run_n / "run.report.json").read_text())
+        rep_s = json.loads((run_s / "run.report.json").read_text())
         check(rep_n["parallel"]["threads"] == max_threads,
               f"report says threads={rep_n['parallel']['threads']}, "
               f"expected {max_threads}")
         check("profile" in rep_n, "tN run has no 'profile' block")
-        check("profile" not in json.loads((run_1 / "run.report.json").read_text()),
-              "t1 run unexpectedly has a 'profile' block")
+        check("profile" not in rep_1, "t1 run unexpectedly has a 'profile' block")
+        check(rep_1["simd"]["requested"] == "off"
+              and rep_1["simd"]["active"] == "scalar",
+              f"t1 run did not run scalar kernels: {rep_1['simd']}")
+        check(rep_n["simd"]["requested"] == "auto",
+              f"tN run did not request auto dispatch: {rep_n['simd']}")
+        check(rep_1["simd"]["incremental_eval"] is False,
+              "t1 run unexpectedly used incremental eval")
+        check(rep_n["simd"]["incremental_eval"] is True
+              and rep_s["simd"]["incremental_eval"] is True,
+              "tN/t1simd runs did not use incremental eval")
 
     if FAILURES:
         print("check_threads_determinism: FAILED")
         for f in FAILURES:
             print(f"  - {f}")
         return 1
-    print(f"check_threads_determinism: OK (--threads 1 == --threads "
-          f"{max_threads}: placement, snapshots, and report all identical)")
+    print(f"check_threads_determinism: OK (threads 1/{max_threads} x "
+          f"RP_SIMD off/auto x incremental off/on: placement, snapshots, "
+          f"and report all identical)")
     return 0
 
 

@@ -21,14 +21,14 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRP_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target test_parallel test_model test_solver test_route
+  --target test_parallel test_model test_solver test_route test_simd
 
 # TSan findings must fail the run, not just print.
 export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
 # Force a real multi-worker pool even on small CI boxes.
 export RP_THREADS="${RP_THREADS:-4}"
 
-for t in test_parallel test_model test_solver test_route; do
+for t in test_parallel test_model test_solver test_route test_simd; do
   echo "== TSan: $t (RP_THREADS=$RP_THREADS) =="
   "$BUILD_DIR/tests/$t"
 done
@@ -39,13 +39,20 @@ cmake -B "$ASAN_BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRP_SANITIZE=address,undefined
 cmake --build "$ASAN_BUILD_DIR" -j "$(nproc)" \
-  --target rp_fuzz_bookshelf test_robustness
+  --target rp_fuzz_bookshelf test_robustness test_simd test_dp
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0:${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
 
 echo "== ASan/UBSan: test_robustness =="
 "$ASAN_BUILD_DIR/tests/test_robustness"
+# The SIMD intrinsics + incremental-eval index arithmetic and the DP paths
+# that consume them are exactly where an OOB read would hide; run both
+# suites under ASan/UBSan so a bad lane or stale scratch fails loudly.
+echo "== ASan/UBSan: test_simd =="
+"$ASAN_BUILD_DIR/tests/test_simd"
+echo "== ASan/UBSan: test_dp =="
+"$ASAN_BUILD_DIR/tests/test_dp"
 echo "== ASan/UBSan: rp_fuzz_bookshelf ($FUZZ_SEEDS seeds) =="
 python3 scripts/fuzz_smoke.py "$ASAN_BUILD_DIR/src/core/rp_fuzz_bookshelf" \
   --seeds "$FUZZ_SEEDS"

@@ -11,6 +11,7 @@
 #include "util/obs_context.hpp"
 #include "util/parallel.hpp"
 #include "util/profiler.hpp"
+#include "util/simd.hpp"
 #include "util/str.hpp"
 #include "util/telemetry.hpp"
 
@@ -43,6 +44,18 @@ std::string cli_usage() {
       "  --threads <n>           worker threads for the hot kernels (0 = auto:\n"
       "                          RP_THREADS env, else hardware concurrency);\n"
       "                          results are identical for every thread count\n"
+      "  --simd <level>          auto (default) | off | avx2 | neon — vector\n"
+      "                          instruction level for the wirelength/density/\n"
+      "                          CG kernels; 'auto' picks the best the host\n"
+      "                          supports, unavailable levels fall back with a\n"
+      "                          warning. Results are bitwise identical at\n"
+      "                          every level (also via RP_SIMD env)\n"
+      "  --incremental-eval <m>  on (default) | off — detailed placement\n"
+      "                          scores candidate moves through cached per-net\n"
+      "                          deltas instead of full re-evaluation; byte-\n"
+      "                          identical placements either way (off is the\n"
+      "                          cross-check reference; see also\n"
+      "                          RP_CHECK_INCREMENTAL=1)\n"
       "  --max-gp-iters <n>      watchdog: cap total GP outer iterations; when\n"
       "                          hit, GP stops spreading early and the flow\n"
       "                          continues (deterministic; 0 = off)\n"
@@ -81,6 +94,9 @@ std::string cli_usage() {
       "environment:\n"
       "  RP_LOG_LEVEL            debug|info|warn|error|silent — overrides --verbose\n"
       "  RP_PROFILE              1 = enable the profiler (same as --profile)\n"
+      "  RP_SIMD                 auto|off|avx2|neon (--simd wins when both set)\n"
+      "  RP_CHECK_INCREMENTAL    1 = cross-check every incremental DP delta\n"
+      "                          against a full re-evaluation (debug; slow)\n"
       "\n"
       "exit codes:\n"
       "  0 legal placement   1 completed, not legal   2 usage error\n"
@@ -109,6 +125,13 @@ CliConfig parse_cli_args(const std::vector<std::string>& args) {
     else if (a == "--density") cfg.target_density = to_double(need_value(i++, a));
     else if (a == "--rounds") cfg.routability_rounds = static_cast<int>(to_long(need_value(i++, a)));
     else if (a == "--threads") cfg.threads = static_cast<int>(to_long(need_value(i++, a)));
+    else if (a == "--simd") cfg.simd = need_value(i++, a);
+    else if (a == "--incremental-eval") {
+      const std::string v = need_value(i++, a);
+      if (v != "on" && v != "off")
+        throw std::runtime_error("--incremental-eval must be 'on' or 'off'");
+      cfg.incremental_eval = v == "on";
+    }
     else if (a == "--strict") cfg.lenient = false;
     else if (a == "--lenient") cfg.lenient = true;
     else if (a == "--max-gp-iters")
@@ -139,6 +162,12 @@ CliConfig parse_cli_args(const std::vector<std::string>& args) {
     throw std::runtime_error("--rounds must be >= 0");
   if (cfg.threads < 0)
     throw std::runtime_error("--threads must be >= 0 (0 = auto)");
+  if (!cfg.simd.empty()) {
+    bool recognized = false;
+    simd::resolve(cfg.simd, &recognized);
+    if (!recognized)
+      throw std::runtime_error("--simd must be auto, off, scalar, avx2 or neon");
+  }
   if (cfg.max_gp_iters < 0)
     throw std::runtime_error("--max-gp-iters must be >= 0 (0 = off)");
   if (cfg.max_seconds < 0)
@@ -159,6 +188,7 @@ FlowOptions cli_flow_options(const CliConfig& cfg) {
   opt.gp.max_gp_iters = cfg.max_gp_iters;
   opt.gp.max_seconds = cfg.max_seconds;
   opt.gp.verbose = cfg.verbose;
+  opt.dp.incremental = cfg.incremental_eval;
   opt.skip_dp = cfg.skip_dp;
   opt.snapshot.dir = cfg.snapshot_dir;
   opt.snapshot.density_every = cfg.snapshot_every;
@@ -177,6 +207,10 @@ int run_cli(const CliConfig& cfg) {
   parallel::set_num_threads(threads);
   RP_DEBUG("thread pool: %d thread(s) (hardware %d)", threads,
            parallel::hardware_threads());
+
+  if (!cfg.simd.empty()) simd::set_from_string(cfg.simd);
+  RP_DEBUG("simd kernels: %s (requested '%s')", simd::level_name(simd::active_level()),
+           simd::requested().c_str());
 
   if (cfg.profile || profiler::env_requested()) profiler::set_enabled(true);
 

@@ -25,6 +25,8 @@ struct CliConfig {
   double target_density = 1.0;
   int routability_rounds = 3;
   int threads = 0;           ///< 0 = auto (RP_THREADS env, else hardware).
+  std::string simd;          ///< "auto"|"off"|"avx2"|"neon"; empty = RP_SIMD env.
+  bool incremental_eval = true;  ///< DP candidate evaluation via cached deltas.
   bool lenient = false;      ///< Bookshelf parse mode (false = strict).
   int max_gp_iters = 0;      ///< >0: cap total GP outer iterations (watchdog).
   double max_seconds = 0.0;  ///< >0: GP wall-clock budget in seconds (watchdog).

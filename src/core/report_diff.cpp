@@ -129,12 +129,15 @@ ReportDiffResult fail(const std::string& msg) {
 const std::vector<std::string>& report_diff_default_ignores() {
   // Things that legitimately differ between two otherwise-identical runs:
   // wall-clock, memory, the binary's build stamp, output locations, the
-  // thread-pool provenance block (thread count / pool statistics), and the
-  // profiler block ("profile" is dotless so the key's very presence — one
-  // run profiled, the other not — is ignored too, not just its leaves).
+  // thread-pool provenance block (thread count / pool statistics), the
+  // simd/incremental dispatch provenance block (results are identical at
+  // every vector level and with incremental eval on or off — only the
+  // provenance strings differ), and the profiler block ("profile" is
+  // dotless so the key's very presence — one run profiled, the other not —
+  // is ignored too, not just its leaves).
   static const std::vector<std::string> kIgnores = {
       "stage_times", "stage_total_sec", "peak_rss_kb", "build.", "snapshot_dir",
-      "parallel.", "profile",
+      "parallel.", "simd.", "profile",
   };
   return kIgnores;
 }

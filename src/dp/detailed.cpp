@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "dp/hungarian.hpp"
 #include "legal/subrow.hpp"
+#include "model/incremental.hpp"
 #include "util/assert.hpp"
 #include "util/logger.hpp"
 #include "util/obs_context.hpp"
@@ -128,7 +130,7 @@ class CostEval {
            const Grid2D<double>& cong)
       : d_(d), cw_(cong_weight), geom_(geom), cong_(cong) {}
 
-  double nets_cost(const std::vector<NetId>& nets) const {
+  double nets_cost(std::span<const NetId> nets) const {
     double s = 0.0;
     for (const NetId n : nets) s += d_.net(n).weight * d_.net_hpwl(n);
     return s;
@@ -141,6 +143,17 @@ class CostEval {
     // Only congestion beyond 80% utilization is penalized; scale by the
     // cell's pin count — pins are what actually create routing demand.
     return cw_ * static_cast<double>(d_.cell(c).pins.size()) * std::max(0.0, g - 0.8);
+  }
+
+  /// Congestion cost of c trialed at lower-left `ll` without mutating the
+  /// design — the center is formed by the same pos + size/2 expression as
+  /// cell_cong_cost sees after a mutate-and-measure, so values match bitwise.
+  double cell_cong_cost_at(CellId c, Point ll) const {
+    if (cw_ == 0.0 || !geom_) return 0.0;
+    const Cell& k = d_.cell(c);
+    const Point p{ll.x + k.w / 2, ll.y + k.h / 2};
+    const double g = cong_(geom_->ix_of(p.x), geom_->iy_of(p.y));
+    return cw_ * static_cast<double>(k.pins.size()) * std::max(0.0, g - 0.8);
   }
 
   /// Would placing cell c's footprint at (x, y) violate fence exclusivity?
@@ -158,16 +171,6 @@ class CostEval {
       for (const Rect& fr : d_.region(reg).rects)
         if (fr.overlaps(r)) return false;
     return true;
-  }
-
-  /// Unique nets touching the given cells.
-  std::vector<NetId> collect_nets(std::initializer_list<CellId> cells) const {
-    std::vector<NetId> nets;
-    for (const CellId c : cells)
-      for (const PinId p : d_.cell(c).pins) nets.push_back(d_.pin(p).net);
-    std::sort(nets.begin(), nets.end());
-    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
-    return nets;
   }
 
  private:
@@ -222,10 +225,19 @@ void DetailedPlacer::set_congestion(GridMap map_geom, Grid2D<double> congestion)
 
 DetailedPlaceStats DetailedPlacer::run(Design& d) {
   DetailedPlaceStats stats;
-  stats.hpwl_before = d.hpwl();
+  // The evaluator's topology (per-cell sorted net lists) serves both modes;
+  // its cached net boxes and costs are consulted only when opt_.incremental
+  // is set. Candidate deltas are bitwise identical either way — min/max box
+  // updates are exact and every sum runs in the same ascending-net order —
+  // which the determinism gate enforces by diffing the two settings.
+  IncrementalEval inc(d);
+  const bool use_inc = opt_.incremental;
+  if (use_inc && cong_geom_) inc.build_occupancy(*cong_geom_);
+  stats.hpwl_before = use_inc ? inc.total_cost() : d.hpwl();
   Rng rng(opt_.seed);
   RowView rows(d);
   CostEval eval(d, opt_.congestion_weight, cong_geom_, cong_);
+  std::vector<NetId> net_union;  // swap-candidate scratch, reused
 
   std::vector<CellId> order;
   for (const CellId c : d.movable_cells())
@@ -255,6 +267,14 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
         double best_x = 0.0;
         CellId best_swap = kInvalidId;
 
+        // The relocation "before" is invariant while c sits at its original
+        // spot: its net list and cost are computed once per cell, not once
+        // per gap candidate.
+        const std::span<const NetId> nets_c = inc.cell_nets(c);
+        const double before_c =
+            (use_inc ? inc.nets_cost(nets_c) : eval.nets_cost(nets_c)) +
+            eval.cell_cong_cost(c);
+
         for (int b = std::max(0, band - 1);
              b <= std::min(rows.index().num_bands() - 1, band + 1); ++b) {
           const auto [first, last] = rows.index().band_range(b);
@@ -269,14 +289,17 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
               if (gap.length() < k.w) continue;
               const double x = std::clamp(tx - k.w / 2, gap.lo, gap.hi - k.w);
               if (!eval.fence_ok(c, x, sr.y)) continue;
-              // Trial: move and measure.
-              const auto nets = eval.collect_nets({c});
-              const double before = eval.nets_cost(nets) + eval.cell_cong_cost(c);
-              const Point old_pos = d.cell(c).pos;
-              d.cell(c).pos = {x, sr.y};
-              const double after = eval.nets_cost(nets) + eval.cell_cong_cost(c);
-              d.cell(c).pos = old_pos;
-              const double delta = before - after;
+              double after;
+              if (use_inc) {
+                after = inc.trial_move(c, {x, sr.y}) +
+                        eval.cell_cong_cost_at(c, {x, sr.y});
+              } else {
+                const Point old_pos = d.cell(c).pos;
+                d.cell(c).pos = {x, sr.y};
+                after = eval.nets_cost(nets_c) + eval.cell_cong_cost(c);
+                d.cell(c).pos = old_pos;
+              }
+              const double delta = before_c - after;
               if (delta > best_delta) {
                 best_delta = delta;
                 best_s = s;
@@ -290,13 +313,23 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
               const CellId o = rows.cells_in(s)[static_cast<std::size_t>(ci)];
               if (o == c || d.cell(o).w != k.w || d.cell(o).h != k.h) continue;
               if (d.cell(o).region != k.region) continue;
-              const auto nets = eval.collect_nets({c, o});
-              const double before =
-                  eval.nets_cost(nets) + eval.cell_cong_cost(c) + eval.cell_cong_cost(o);
-              std::swap(d.cell(c).pos, d.cell(o).pos);
-              const double after =
-                  eval.nets_cost(nets) + eval.cell_cong_cost(c) + eval.cell_cong_cost(o);
-              std::swap(d.cell(c).pos, d.cell(o).pos);
+              // One merge of the two sorted per-cell net lists replaces the
+              // collect-sort-unique pass both sides used to repeat.
+              inc.union_nets(c, o, net_union);
+              const double before = (use_inc ? inc.nets_cost(net_union)
+                                             : eval.nets_cost(net_union)) +
+                                    eval.cell_cong_cost(c) + eval.cell_cong_cost(o);
+              double after;
+              if (use_inc) {
+                after = inc.trial_swap(c, o, net_union) +
+                        eval.cell_cong_cost_at(c, d.cell(o).pos) +
+                        eval.cell_cong_cost_at(o, d.cell(c).pos);
+              } else {
+                std::swap(d.cell(c).pos, d.cell(o).pos);
+                after = eval.nets_cost(net_union) + eval.cell_cong_cost(c) +
+                        eval.cell_cong_cost(o);
+                std::swap(d.cell(c).pos, d.cell(o).pos);
+              }
               const double delta = before - after;
               if (delta > best_delta) {
                 best_delta = delta;
@@ -308,10 +341,23 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
         }
         if (best_s >= 0) {
           if (best_swap != kInvalidId) {
+            const Point old_c = d.cell(c).pos;
+            const Point old_o = d.cell(best_swap).pos;
             rows.swap_cells(c, best_swap);
+            if (use_inc) {
+              inc.refresh_cell(c);
+              inc.refresh_cell(best_swap);
+              inc.occupancy_move(c, old_c, d.cell(c).pos);
+              inc.occupancy_move(best_swap, old_o, d.cell(best_swap).pos);
+            }
             ++stats.swaps;
           } else {
+            const Point old_c = d.cell(c).pos;
             rows.relocate(c, best_s, best_x);
+            if (use_inc) {
+              inc.refresh_cell(c);
+              inc.occupancy_move(c, old_c, d.cell(c).pos);
+            }
             ++stats.relocations;
           }
         }
@@ -336,14 +382,16 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
           const double x0 = d.cell(win[0]).pos.x;
           const double gap_end = rows.gap_at(s, i + w).hi;  // right slack limit
           std::vector<NetId> nets;
-          for (const CellId c : win)
-            for (const PinId p : d.cell(c).pins) nets.push_back(d.pin(p).net);
+          for (const CellId c : win) {
+            const auto cn = inc.cell_nets(c);
+            nets.insert(nets.end(), cn.begin(), cn.end());
+          }
           std::sort(nets.begin(), nets.end());
           nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
 
           std::vector<Point> orig(win.size());
           for (std::size_t j = 0; j < win.size(); ++j) orig[j] = d.cell(win[j]).pos;
-          const double before = eval.nets_cost(nets);
+          const double before = use_inc ? inc.nets_cost(nets) : eval.nets_cost(nets);
 
           std::vector<int> perm(win.size());
           for (std::size_t j = 0; j < perm.size(); ++j) perm[j] = static_cast<int>(j);
@@ -381,6 +429,11 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
               continue;
             }
             ++stats.reorders;
+            if (use_inc) {
+              inc.refresh_nets(nets);
+              for (std::size_t j = 0; j < win.size(); ++j)
+                inc.occupancy_move(win[j], orig[j], d.cell(win[j]).pos);
+            }
             // Row order may have changed; fix the slice.
             auto& mrow = rows.cells_in_mutable(s);
             std::sort(mrow.begin() + i, mrow.begin() + i + w, [&](CellId a, CellId b) {
@@ -423,14 +476,23 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
             std::vector<double> cost(static_cast<std::size_t>(n) * n, 0.0);
             for (int i = 0; i < n; ++i) {
               const CellId c = set[static_cast<std::size_t>(i)];
-              const Point orig = d.cell(c).pos;
-              const auto nets = eval.collect_nets({c});
-              for (int j = 0; j < n; ++j) {
-                d.cell(c).pos = slots[static_cast<std::size_t>(j)];
-                cost[static_cast<std::size_t>(i * n + j)] =
-                    eval.nets_cost(nets) + eval.cell_cong_cost(c);
+              if (use_inc) {
+                // Net-disjointness makes per-cell costs separable, so each
+                // slot is a plain single-cell trial — no mutation at all.
+                for (int j = 0; j < n; ++j)
+                  cost[static_cast<std::size_t>(i * n + j)] =
+                      inc.trial_move(c, slots[static_cast<std::size_t>(j)]) +
+                      eval.cell_cong_cost_at(c, slots[static_cast<std::size_t>(j)]);
+              } else {
+                const Point orig = d.cell(c).pos;
+                const auto nets = inc.cell_nets(c);
+                for (int j = 0; j < n; ++j) {
+                  d.cell(c).pos = slots[static_cast<std::size_t>(j)];
+                  cost[static_cast<std::size_t>(i * n + j)] =
+                      eval.nets_cost(nets) + eval.cell_cong_cost(c);
+                }
+                d.cell(c).pos = orig;
               }
-              d.cell(c).pos = orig;
             }
             const std::vector<int> assign = hungarian(cost, n);
             double before = 0.0;
@@ -442,15 +504,21 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
                 d.cell(set[static_cast<std::size_t>(i)]).pos =
                     slots[static_cast<std::size_t>(assign[static_cast<std::size_t>(i)])];
               }
+              if (use_inc)
+                for (int i = 0; i < n; ++i)
+                  if (assign[static_cast<std::size_t>(i)] != i) {
+                    const CellId c = set[static_cast<std::size_t>(i)];
+                    inc.refresh_cell(c);
+                    inc.occupancy_move(c, slots[static_cast<std::size_t>(i)],
+                                       d.cell(c).pos);
+                  }
             }
           }
           set.clear();
           set_nets.clear();
         };
         for (const CellId c : cells) {
-          std::vector<NetId> cn;
-          for (const PinId p : d.cell(c).pins) cn.push_back(d.pin(p).net);
-          std::sort(cn.begin(), cn.end());
+          const std::span<const NetId> cn = inc.cell_nets(c);  // already sorted
           bool clash = false;
           for (const NetId n : cn)
             if (std::binary_search(set_nets.begin(), set_nets.end(), n)) {
@@ -472,7 +540,10 @@ DetailedPlaceStats DetailedPlacer::run(Design& d) {
     }
   }
 
-  stats.hpwl_after = d.hpwl();
+  stats.hpwl_after = use_inc ? inc.total_cost() : d.hpwl();
+  if (use_inc && inc.cross_check())
+    RP_ASSERT(stats.hpwl_after == d.hpwl(),
+              "incremental: total cost drifted from Design::hpwl()");
   RP_COUNT("dp.swaps", stats.swaps);
   RP_COUNT("dp.relocations", stats.relocations);
   RP_COUNT("dp.reorders", stats.reorders);

@@ -33,6 +33,13 @@ struct DetailedPlaceOptions {
   bool enable_ism = true;
   int ism_set_size = 8;
   double congestion_weight = 0.0;  ///< die-units penalty per unit congestion.
+  /// Evaluate move/swap candidates through the incremental delta evaluator
+  /// (model/incremental.hpp): cached per-net costs for the "before" side and
+  /// O(1)-per-net box updates for trials, instead of mutating the design and
+  /// re-walking every pin list. Results are bitwise identical either way —
+  /// the determinism gate diffs the two settings — so this is purely a
+  /// speed knob (and the off switch is the cross-check's reference).
+  bool incremental = true;
   std::uint64_t seed = 1;
 };
 

@@ -49,17 +49,44 @@ double clamp_cluster_x(const Subrow& sr, const Cluster& cl) {
   return std::clamp(cl.q / cl.e, sr.lx, sr.hx - cl.w);
 }
 
-/// Append a cell to the row state and collapse clusters. Returns the cell's
-/// final x, or a quiet NaN if it cannot fit.
-double append_and_collapse(const Subrow& sr, RowState& rs, const ClusterCell& cc,
-                           bool commit) {
+/// Trial-only scoring: where would the cell land if appended? Walks the
+/// cluster collapse backwards with three accumulators (e, q, w) instead of
+/// copying the row's cluster vector — every trial is allocation-free and
+/// the hot inner loop of legalization touches no heap. The arithmetic
+/// mirrors append_and_collapse expression for expression (the merge update
+/// `q += last.q - last.e * prev.w` and the `clamp(q/e, ...)` re-placement),
+/// so the returned x is bitwise the one a committed append produces.
+double trial_append(const Subrow& sr, const RowState& rs, const ClusterCell& cc) {
   if (rs.used_width + cc.w > sr.width() + 1e-9)
     return std::numeric_limits<double>::quiet_NaN();
 
-  // Work on copies when only trialing.
-  std::vector<Cluster> trial_clusters;
-  std::vector<Cluster>& cl = commit ? rs.clusters : trial_clusters;
-  if (!commit) trial_clusters = rs.clusters;
+  double e = cc.e;
+  double q = cc.e * cc.target_x;
+  double w = cc.w;
+  double x = std::clamp(q / e, sr.lx, sr.hx - w);
+  std::size_t i = rs.clusters.size();
+  while (i > 0) {
+    const Cluster& prev = rs.clusters[i - 1];
+    if (prev.x + prev.w <= x + 1e-9) break;
+    q = prev.q + (q - e * prev.w);
+    e = prev.e + e;
+    w = prev.w + w;
+    --i;
+    x = std::clamp(q / e, sr.lx, sr.hx - w);
+  }
+  x = x + w - cc.w;
+  if (x < sr.lx - 1e-9 || x + cc.w > sr.hx + 1e-9)
+    return std::numeric_limits<double>::quiet_NaN();
+  return x;
+}
+
+/// Append a cell to the row state and collapse clusters. Returns the cell's
+/// final x, or a quiet NaN if it cannot fit.
+double append_and_collapse(const Subrow& sr, RowState& rs, const ClusterCell& cc) {
+  if (rs.used_width + cc.w > sr.width() + 1e-9)
+    return std::numeric_limits<double>::quiet_NaN();
+
+  std::vector<Cluster>& cl = rs.clusters;
 
   Cluster nc;
   nc.e = cc.e;
@@ -84,7 +111,7 @@ double append_and_collapse(const Subrow& sr, RowState& rs, const ClusterCell& cc
     prev.last_cell = last.last_cell;
     cl.pop_back();
     cl.back().x = clamp_cluster_x(sr, cl.back());
-    if (commit) RP_COUNT("legal.cluster_merges", 1);
+    RP_COUNT("legal.cluster_merges", 1);
   }
   cl.back().x = clamp_cluster_x(sr, cl.back());
 
@@ -94,10 +121,8 @@ double append_and_collapse(const Subrow& sr, RowState& rs, const ClusterCell& cc
   if (x < sr.lx - 1e-9 || x + cc.w > sr.hx + 1e-9)
     return std::numeric_limits<double>::quiet_NaN();
 
-  if (commit) {
-    rs.cells.push_back(cc);
-    rs.used_width += cc.w;
-  }
+  rs.cells.push_back(cc);
+  rs.used_width += cc.w;
   return x;
 }
 
@@ -156,7 +181,7 @@ LegalizeStats AbacusLegalizer::run(Design& d) {
           for (int s = first; s < last; ++s) {
             const Subrow& sr = idx.subrows()[static_cast<std::size_t>(s)];
             const double x =
-                append_and_collapse(sr, state[static_cast<std::size_t>(s)], cc, false);
+                trial_append(sr, state[static_cast<std::size_t>(s)], cc);
             if (std::isnan(x)) continue;
             const double cost = std::abs(x - target.x) + opt_.displacement_weight * dy;
             if (cost < best_cost) {
@@ -183,7 +208,7 @@ LegalizeStats AbacusLegalizer::run(Design& d) {
         continue;
       }
       append_and_collapse(idx.subrows()[static_cast<std::size_t>(best_sr)],
-                          state[static_cast<std::size_t>(best_sr)], cc, true);
+                          state[static_cast<std::size_t>(best_sr)], cc);
     }
 
     for (std::size_t s = 0; s < state.size(); ++s)

@@ -7,6 +7,7 @@
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
 #include "util/profiler.hpp"
+#include "util/simd.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
@@ -122,12 +123,20 @@ double DensityModel::eval(const PlaceProblem& p, std::span<double> gx,
   RP_COUNT("parallel.density_evals", 1);
 
   // Pass 1: accumulate smoothed density, one scratch grid per node chunk;
-  // the per-node normalization c_v is cached for pass 2.
+  // the per-node normalization c_v is cached for pass 2. The x-axis bell is
+  // sampled once per node into a per-worker row buffer (bins are uniform,
+  // so the sample points are d0 + i·(-bin_w)) and applied row-wise with
+  // the dispatched sum/axpy kernels — Grid2D rows are contiguous in ix.
   csum_.resize(nn);
+  const auto workers = static_cast<std::size_t>(parallel::num_threads());
+  if (row_scratch_.size() < workers) row_scratch_.resize(workers);
   const parallel::ChunkPlan plan = parallel::plan_chunks(nn, kNodeGrain, kGridChunkCap);
   if (static_cast<int>(chunk_dens_.size()) < plan.count)
     chunk_dens_.resize(static_cast<std::size_t>(plan.count));
-  parallel::ThreadPool::instance().run(plan, [&](int ci, int) {
+  parallel::ThreadPool::instance().run(plan, [&](int ci, int worker) {
+    const simd::Ops& ops = simd::ops();
+    RowScratch& sc = row_scratch_[static_cast<std::size_t>(worker)];
+    sc.ensure(static_cast<std::size_t>(nx));
     Grid2D<double>& g = chunk_dens_[static_cast<std::size_t>(ci)];
     if (g.nx() != nx || g.ny() != ny) g = Grid2D<double>(nx, ny, 0.0);
     else g.fill(0.0);
@@ -142,14 +151,15 @@ double DensityModel::eval(const PlaceProblem& p, std::span<double> gx,
       const int ix1 = std::min(nx - 1, grid_.ix_of(cx + bx.d2) + 1);
       const int iy0 = std::max(0, grid_.iy_of(cy - by.d2) - 1);
       const int iy1 = std::min(ny - 1, grid_.iy_of(cy + by.d2) + 1);
+      const auto rw = static_cast<std::size_t>(ix1 - ix0 + 1);
+      ops.bell_row(cx - xc_[static_cast<std::size_t>(ix0)], -bw, rw, bx.d1,
+                   bx.d2, bx.a, bx.b, sc.px.data());
+      const double row_sum = ops.sum(sc.px.data(), rw);
       double s = 0.0;
       for (int iy = iy0; iy <= iy1; ++iy) {
         const double py = by.value(cy - yc_[static_cast<std::size_t>(iy)]);
         if (py == 0.0) continue;
-        for (int ix = ix0; ix <= ix1; ++ix) {
-          const double px = bx.value(cx - xc_[static_cast<std::size_t>(ix)]);
-          s += px * py;
-        }
+        s += py * row_sum;
       }
       if (s <= 0.0) continue;
       const double cv = n.area() * p.inflate[uv] / s;
@@ -157,10 +167,7 @@ double DensityModel::eval(const PlaceProblem& p, std::span<double> gx,
       for (int iy = iy0; iy <= iy1; ++iy) {
         const double py = by.value(cy - yc_[static_cast<std::size_t>(iy)]);
         if (py == 0.0) continue;
-        for (int ix = ix0; ix <= ix1; ++ix) {
-          const double px = bx.value(cx - xc_[static_cast<std::size_t>(ix)]);
-          if (px != 0.0) g(ix, iy) += cv * px * py;
-        }
+        ops.axpy(cv * py, sc.px.data(), rw, &g(ix0, iy));
       }
     }
   });
@@ -192,7 +199,12 @@ double DensityModel::eval(const PlaceProblem& p, std::span<double> gx,
 
   // Pass 2: gradients.  dN/dx_v = Σ_b 2·R_b · c_v · px'(cx-xb) · py.
   // Embarrassingly parallel: every node writes only its own gradient slot.
-  parallel::parallel_for(nn, kNodeGrain, [&](std::size_t b, std::size_t e, int) {
+  // Row-wise like pass 1: sample px/px' once per node, then one dot product
+  // against the contiguous residual row per iy.
+  parallel::parallel_for(nn, kNodeGrain, [&](std::size_t b, std::size_t e, int worker) {
+    const simd::Ops& ops = simd::ops();
+    RowScratch& sc = row_scratch_[static_cast<std::size_t>(worker)];
+    sc.ensure(static_cast<std::size_t>(nx));
     for (std::size_t uv = b; uv < e; ++uv) {
       const auto& n = p.nodes[uv];
       if (n.fixed || csum_[uv] == 0.0) continue;
@@ -203,21 +215,19 @@ double DensityModel::eval(const PlaceProblem& p, std::span<double> gx,
       const int ix1 = std::min(nx - 1, grid_.ix_of(cx + bx.d2) + 1);
       const int iy0 = std::max(0, grid_.iy_of(cy - by.d2) - 1);
       const int iy1 = std::min(ny - 1, grid_.iy_of(cy + by.d2) + 1);
+      const auto rw = static_cast<std::size_t>(ix1 - ix0 + 1);
+      const double d0 = cx - xc_[static_cast<std::size_t>(ix0)];
+      ops.bell_row(d0, -bw, rw, bx.d1, bx.d2, bx.a, bx.b, sc.px.data());
+      ops.bell_deriv_row(d0, -bw, rw, bx.d1, bx.d2, bx.a, bx.b, sc.dpx.data());
       const double cv = csum_[uv];
       double dgx = 0.0, dgy = 0.0;
       for (int iy = iy0; iy <= iy1; ++iy) {
         const double dy = cy - yc_[static_cast<std::size_t>(iy)];
         const double py = by.value(dy);
         const double dpy = by.deriv(dy);
-        for (int ix = ix0; ix <= ix1; ++ix) {
-          const double r = resid_(ix, iy);
-          if (r == 0.0) continue;
-          const double dx = cx - xc_[static_cast<std::size_t>(ix)];
-          const double px = bx.value(dx);
-          const double dpx = bx.deriv(dx);
-          dgx += 2.0 * r * cv * dpx * py;
-          dgy += 2.0 * r * cv * px * dpy;
-        }
+        const double* rrow = &resid_(ix0, iy);
+        dgx += ((2.0 * cv) * py) * ops.dot(rrow, sc.dpx.data(), rw);
+        dgy += ((2.0 * cv) * dpy) * ops.dot(rrow, sc.px.data(), rw);
       }
       gx[uv] += dgx;
       gy[uv] += dgy;

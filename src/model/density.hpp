@@ -69,6 +69,21 @@ class DensityModel {
   std::vector<Grid2D<double>> chunk_dens_;
   std::vector<double> csum_;   ///< Per-node bell normalization (pass 1 → 2).
 
+  // Per-worker row buffers for the dispatched simd kernels: each node's
+  // bell potential (and derivative) is sampled once per grid ROW into these
+  // and applied with batched sum/axpy/dot — cache-blocked by construction
+  // since Grid2D rows are contiguous in ix.
+  struct RowScratch {
+    std::vector<double> px, dpx;
+    void ensure(std::size_t n) {
+      if (px.size() < n) {
+        px.resize(n);
+        dpx.resize(n);
+      }
+    }
+  };
+  std::vector<RowScratch> row_scratch_;
+
   void rebuild_capacity();
 };
 

@@ -1,0 +1,280 @@
+#include "model/incremental.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/telemetry.hpp"
+
+namespace rp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Track the smallest and second-smallest value (with multiplicity): after
+/// the pass, removing ONE element equal to mn leaves mn2 as the minimum.
+inline void track_min(double v, double& mn, double& mn2) {
+  if (v < mn) {
+    mn2 = mn;
+    mn = v;
+  } else if (v < mn2) {
+    mn2 = v;
+  }
+}
+
+inline void track_max(double v, double& mx, double& mx2) {
+  if (v > mx) {
+    mx2 = mx;
+    mx = v;
+  } else if (v > mx2) {
+    mx2 = v;
+  }
+}
+
+/// Same expression chain as BBox::half_perimeter + Rect::width/height so the
+/// cached cost is bitwise what Design::net_hpwl computes.
+inline double half_perimeter(double mnx, double mxx, double mny, double mxy) {
+  return std::max(0.0, mxx - mnx) + std::max(0.0, mxy - mny);
+}
+
+inline Point center_of(const Cell& k) {
+  return {k.pos.x + k.w / 2, k.pos.y + k.h / 2};
+}
+
+}  // namespace
+
+IncrementalEval::IncrementalEval(const Design& d) : d_(d) {
+  const auto nc = static_cast<std::size_t>(d.num_cells());
+  const auto nn = static_cast<std::size_t>(d.num_nets());
+  cost_.resize(nn);
+  box_.resize(nn);
+
+  // Per-cell sorted unique net incidence (CSR). Counting pass first.
+  cell_net_off_.assign(nc + 1, 0);
+  std::vector<std::pair<NetId, PinId>> tmp;
+  for (CellId c = 0; c < d.num_cells(); ++c) {
+    const Cell& k = d.cell(c);
+    tmp.clear();
+    for (const PinId p : k.pins) tmp.emplace_back(d.pin(p).net, p);
+    std::sort(tmp.begin(), tmp.end());
+    const int base = cell_net_off_[static_cast<std::size_t>(c)];
+    int count = 0;
+    for (std::size_t i = 0; i < tmp.size();) {
+      std::size_t j = i;
+      while (j < tmp.size() && tmp[j].first == tmp[i].first) ++j;
+      CellNet e;
+      e.net = tmp[i].first;
+      e.off = d.pin(tmp[i].second).offset;
+      e.multi = (j - i) > 1;
+      cell_net_ids_.push_back(e.net);
+      cell_net_inc_.push_back(e);
+      ++count;
+      i = j;
+    }
+    cell_net_off_[static_cast<std::size_t>(c) + 1] = base + count;
+  }
+
+  const char* env = std::getenv("RP_CHECK_INCREMENTAL");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') cross_check_ = true;
+
+  rebuild();
+}
+
+double IncrementalEval::compute_net(NetId n, NetBox* box) const {
+  const Net& net = d_.net(n);
+  NetBox b{kInf, -kInf, kInf, -kInf, kInf, -kInf, kInf, -kInf};
+  for (const PinId p : net.pins) {
+    const Point pos = d_.pin_pos(p);
+    track_min(pos.x, b.mnx, b.mnx2);
+    track_max(pos.x, b.mxx, b.mxx2);
+    track_min(pos.y, b.mny, b.mny2);
+    track_max(pos.y, b.mxy, b.mxy2);
+  }
+  if (box != nullptr) *box = b;
+  if (net.pins.size() < 2) return 0.0;  // matches Design::net_hpwl
+  return net.weight * half_perimeter(b.mnx, b.mxx, b.mny, b.mxy);
+}
+
+void IncrementalEval::rebuild() {
+  for (NetId n = 0; n < d_.num_nets(); ++n)
+    cost_[static_cast<std::size_t>(n)] = compute_net(n, &box_[static_cast<std::size_t>(n)]);
+}
+
+double IncrementalEval::total_cost() const {
+  double sum = 0.0;
+  for (NetId n = 0; n < d_.num_nets(); ++n) sum += cost_[static_cast<std::size_t>(n)];
+  return sum;
+}
+
+void IncrementalEval::union_nets(CellId a, CellId b, std::vector<NetId>& out) const {
+  const auto na = cell_nets(a);
+  const auto nb = cell_nets(b);
+  out.clear();
+  std::size_t i = 0, j = 0;
+  while (i < na.size() && j < nb.size()) {
+    if (na[i] < nb[j]) out.push_back(na[i++]);
+    else if (nb[j] < na[i]) out.push_back(nb[j++]);
+    else { out.push_back(na[i]); ++i; ++j; }
+  }
+  for (; i < na.size(); ++i) out.push_back(na[i]);
+  for (; j < nb.size(); ++j) out.push_back(nb[j]);
+}
+
+double IncrementalEval::nets_cost(std::span<const NetId> nets) const {
+  double s = 0.0;
+  for (const NetId n : nets) s += cost_[static_cast<std::size_t>(n)];
+  if (cross_check_)
+    for (const NetId n : nets)
+      RP_ASSERT(cost_[static_cast<std::size_t>(n)] == compute_net(n, nullptr),
+                "incremental: stale cached net cost");
+  return s;
+}
+
+double IncrementalEval::recompute_override(NetId n, CellId ca, Point ctr_a,
+                                           CellId cb, Point ctr_b) const {
+  const Net& net = d_.net(n);
+  double mnx = kInf, mxx = -kInf, mny = kInf, mxy = -kInf;
+  for (const PinId p : net.pins) {
+    const Pin& pn = d_.pin(p);
+    Point ctr;
+    if (pn.cell == ca) ctr = ctr_a;
+    else if (pn.cell == cb) ctr = ctr_b;
+    else ctr = center_of(d_.cell(pn.cell));
+    const double x = ctr.x + pn.offset.x;
+    const double y = ctr.y + pn.offset.y;
+    mnx = std::min(mnx, x);
+    mxx = std::max(mxx, x);
+    mny = std::min(mny, y);
+    mxy = std::max(mxy, y);
+  }
+  if (net.pins.size() < 2) return 0.0;
+  return net.weight * half_perimeter(mnx, mxx, mny, mxy);
+}
+
+void IncrementalEval::check_trial(double got, NetId n, CellId ca, Point ctr_a,
+                                  CellId cb, Point ctr_b) const {
+  RP_ASSERT(got == recompute_override(n, ca, ctr_a, cb, ctr_b),
+            "incremental: trial cost diverges from full recompute");
+}
+
+double IncrementalEval::trial_net(const CellNet& e, double w, Point old_ctr,
+                                  Point new_ctr, CellId c) const {
+  const NetBox& b = box_[static_cast<std::size_t>(e.net)];
+  const double ox = old_ctr.x + e.off.x, nx = new_ctr.x + e.off.x;
+  const double oy = old_ctr.y + e.off.y, ny = new_ctr.y + e.off.y;
+  // Remove the moved pin (second extreme steps in when it WAS the extreme),
+  // then min/max in its new coordinate — exact, so bitwise identical to a
+  // full recompute over the pin list.
+  const double mnx = std::min(ox == b.mnx ? b.mnx2 : b.mnx, nx);
+  const double mxx = std::max(ox == b.mxx ? b.mxx2 : b.mxx, nx);
+  const double mny = std::min(oy == b.mny ? b.mny2 : b.mny, ny);
+  const double mxy = std::max(oy == b.mxy ? b.mxy2 : b.mxy, ny);
+  const double cost = w * half_perimeter(mnx, mxx, mny, mxy);
+  if (cross_check_)
+    check_trial(cost, e.net, c, new_ctr, kInvalidId, Point{});
+  return cost;
+}
+
+double IncrementalEval::trial_move(CellId c, Point new_ll) const {
+  const Cell& k = d_.cell(c);
+  const Point old_ctr = center_of(k);
+  const Point new_ctr{new_ll.x + k.w / 2, new_ll.y + k.h / 2};
+  const auto b = static_cast<std::size_t>(cell_net_off_[static_cast<std::size_t>(c)]);
+  const auto e = static_cast<std::size_t>(cell_net_off_[static_cast<std::size_t>(c) + 1]);
+  double s = 0.0;
+  for (std::size_t i = b; i < e; ++i) {
+    const CellNet& cn = cell_net_inc_[i];
+    const Net& net = d_.net(cn.net);
+    if (net.pins.size() < 2) continue;  // cost 0 either way (s += 0.0 is exact)
+    if (cn.multi) {
+      const double cost = recompute_override(cn.net, c, new_ctr, kInvalidId, Point{});
+      if (cross_check_) check_trial(cost, cn.net, c, new_ctr, kInvalidId, Point{});
+      s += cost;
+    } else {
+      s += trial_net(cn, net.weight, old_ctr, new_ctr, c);
+    }
+  }
+  return s;
+}
+
+double IncrementalEval::trial_swap(CellId a, CellId b, std::span<const NetId> nets) const {
+  const Cell& ka = d_.cell(a);
+  const Cell& kb = d_.cell(b);
+  const Point old_a = center_of(ka);
+  const Point old_b = center_of(kb);
+  // Positions exchange; sizes differ only in sharing w/h for DP swaps, but
+  // form the centers from the OTHER cell's lower-left with OWN size so the
+  // expression matches a mutate-and-measure swap exactly.
+  const Point new_a{kb.pos.x + ka.w / 2, kb.pos.y + ka.h / 2};
+  const Point new_b{ka.pos.x + kb.w / 2, ka.pos.y + kb.h / 2};
+
+  const auto la = cell_nets(a);
+  const auto lb = cell_nets(b);
+  std::size_t i = 0, j = 0;
+  const auto ia0 = static_cast<std::size_t>(cell_net_off_[static_cast<std::size_t>(a)]);
+  const auto ib0 = static_cast<std::size_t>(cell_net_off_[static_cast<std::size_t>(b)]);
+  double s = 0.0;
+  for (const NetId n : nets) {
+    const bool in_a = i < la.size() && la[i] == n;
+    const bool in_b = j < lb.size() && lb[j] == n;
+    const CellNet* ea = in_a ? &cell_net_inc_[ia0 + i] : nullptr;
+    const CellNet* eb = in_b ? &cell_net_inc_[ib0 + j] : nullptr;
+    if (in_a) ++i;
+    if (in_b) ++j;
+    const Net& net = d_.net(n);
+    if (net.pins.size() < 2) continue;
+    if (in_a && in_b) {
+      const double cost = recompute_override(n, a, new_a, b, new_b);
+      if (cross_check_) check_trial(cost, n, a, new_a, b, new_b);
+      s += cost;
+    } else if (in_a) {
+      if (ea->multi) {
+        const double cost = recompute_override(n, a, new_a, kInvalidId, Point{});
+        if (cross_check_) check_trial(cost, n, a, new_a, kInvalidId, Point{});
+        s += cost;
+      } else {
+        s += trial_net(*ea, net.weight, old_a, new_a, a);
+      }
+    } else if (in_b) {
+      if (eb->multi) {
+        const double cost = recompute_override(n, b, new_b, kInvalidId, Point{});
+        if (cross_check_) check_trial(cost, n, b, new_b, kInvalidId, Point{});
+        s += cost;
+      } else {
+        s += trial_net(*eb, net.weight, old_b, new_b, b);
+      }
+    }
+  }
+  return s;
+}
+
+void IncrementalEval::refresh_nets(std::span<const NetId> nets) {
+  for (const NetId n : nets)
+    cost_[static_cast<std::size_t>(n)] = compute_net(n, &box_[static_cast<std::size_t>(n)]);
+}
+
+void IncrementalEval::build_occupancy(const GridMap& map) {
+  occ_map_ = map;
+  occ_ = Grid2D<double>(map.nx(), map.ny(), 0.0);
+  has_occ_ = true;
+  for (const CellId c : d_.movable_cells()) {
+    const Cell& k = d_.cell(c);
+    if (k.kind != CellKind::StdCell) continue;
+    occ_map_.rasterize(d_.cell_rect(c), [&](int ix, int iy, double a) {
+      occ_(ix, iy) += a;
+    });
+  }
+}
+
+void IncrementalEval::occupancy_move(CellId c, Point old_ll, Point new_ll) {
+  if (!has_occ_) return;
+  const Cell& k = d_.cell(c);
+  occ_map_.rasterize({old_ll.x, old_ll.y, old_ll.x + k.w, old_ll.y + k.h},
+                     [&](int ix, int iy, double a) { occ_(ix, iy) -= a; });
+  occ_map_.rasterize({new_ll.x, new_ll.y, new_ll.x + k.w, new_ll.y + k.h},
+                     [&](int ix, int iy, double a) { occ_(ix, iy) += a; });
+}
+
+}  // namespace rp

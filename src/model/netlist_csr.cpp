@@ -1,5 +1,7 @@
 #include "model/netlist_csr.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
 
@@ -29,6 +31,9 @@ void size_buffers(NetlistCsr& c) {
   c.pin_cy.resize(np);
   c.pin_gx.resize(np);
   c.pin_gy.resize(np);
+  c.max_net_degree = 0;
+  for (int n = 0; n < c.num_nets; ++n)
+    c.max_net_degree = std::max(c.max_net_degree, c.net_degree(n));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "util/parallel.hpp"
 #include "util/profiler.hpp"
+#include "util/simd.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
@@ -16,52 +17,53 @@ namespace {
 constexpr std::size_t kNetGrain = 64;    ///< Nets per chunk (min).
 constexpr std::size_t kNodeGrain = 2048; ///< Nodes per gather chunk (min).
 
+/// Fill s.ep = exp((c - mx)·ig) and s.em = exp((mn - c)·ig) through the
+/// dispatched batch kernels. Exp arguments are staged in s.arg so the
+/// vector exp consumes a contiguous block; every argument is <= 0 by
+/// construction (c - mx <= 0 and -(c - mn) <= 0 exactly).
+void exp_both_sides(const double* c, std::size_t un, double mn, double mx,
+                    double ig, WlThreadScratch& s) {
+  const simd::Ops& ops = simd::ops();
+  ops.affine(c, un, -mx, ig, s.arg.data());
+  ops.exp_nonpos(s.arg.data(), un, s.ep.data());
+  ops.affine(c, un, -mn, -ig, s.arg.data());
+  ops.exp_nonpos(s.arg.data(), un, s.em.data());
+}
+
 /// One axis of one net under LSE over c[0..n). Returns the net's smoothed
 /// extent; when dc != nullptr writes dWL/d(pin coordinate) per pin.
 double lse_axis(const double* c, int n, double gamma, double* dc, WlThreadScratch& s) {
   const auto un = static_cast<std::size_t>(n);
-  const auto [mn_it, mx_it] = std::minmax_element(c, c + n);
-  const double mn = *mn_it, mx = *mx_it;
-  s.ep.resize(un);
-  s.em.resize(un);
-  double sp = 0, sm = 0;
-  for (std::size_t i = 0; i < un; ++i) {
-    sp += s.ep[i] = std::exp((c[i] - mx) / gamma);
-    sm += s.em[i] = std::exp((mn - c[i]) / gamma);
-  }
-  if (dc != nullptr)
-    for (std::size_t i = 0; i < un; ++i) dc[i] = s.ep[i] / sp - s.em[i] / sm;
+  const simd::Ops& ops = simd::ops();
+  s.ensure(un);
+  double mn, mx;
+  ops.minmax(c, un, &mn, &mx);
+  exp_both_sides(c, un, mn, mx, 1.0 / gamma, s);
+  const double sp = ops.sum(s.ep.data(), un);
+  const double sm = ops.sum(s.em.data(), un);
+  if (dc != nullptr) ops.lse_grad(s.ep.data(), s.em.data(), un, 1.0 / sp, 1.0 / sm, dc);
   return (mx - mn) + gamma * (std::log(sp) + std::log(sm));
 }
 
 /// One axis of one net under WA.
 double wa_axis(const double* c, int n, double gamma, double* dc, WlThreadScratch& s) {
   const auto un = static_cast<std::size_t>(n);
-  const auto [mn_it, mx_it] = std::minmax_element(c, c + n);
-  const double mn = *mn_it, mx = *mx_it;
-  s.ep.resize(un);
-  s.em.resize(un);
-  double sp = 0, sm = 0, wsp = 0, wsm = 0;
-  for (std::size_t i = 0; i < un; ++i) {
-    const double ep = std::exp((c[i] - mx) / gamma);
-    const double em = std::exp((mn - c[i]) / gamma);
-    s.ep[i] = ep;
-    s.em[i] = em;
-    sp += ep;
-    sm += em;
-    wsp += c[i] * ep;
-    wsm += c[i] * em;
-  }
+  const simd::Ops& ops = simd::ops();
+  s.ensure(un);
+  double mn, mx;
+  ops.minmax(c, un, &mn, &mx);
+  const double ig = 1.0 / gamma;
+  exp_both_sides(c, un, mn, mx, ig, s);
+  const double sp = ops.sum(s.ep.data(), un);
+  const double sm = ops.sum(s.em.data(), un);
+  const double wsp = ops.dot(c, s.ep.data(), un);
+  const double wsm = ops.dot(c, s.em.data(), un);
   const double xmax = wsp / sp;  // smoothed max
   const double xmin = wsm / sm;  // smoothed min
-  if (dc != nullptr) {
-    for (std::size_t i = 0; i < un; ++i) {
-      // d(xmax)/dci = e_i (1 + (c_i - xmax)/γ) / sp ; analogously for xmin.
-      const double dmax = s.ep[i] * (1.0 + (c[i] - xmax) / gamma) / sp;
-      const double dmin = s.em[i] * (1.0 - (c[i] - xmin) / gamma) / sm;
-      dc[i] = dmax - dmin;
-    }
-  }
+  // d(xmax)/dci = e_i (1 + (c_i - xmax)·ig) / sp ; analogously for xmin.
+  if (dc != nullptr)
+    ops.wa_grad(c, s.ep.data(), s.em.data(), un, xmax, xmin, ig, 1.0 / sp,
+                1.0 / sm, dc);
   return xmax - xmin;
 }
 
@@ -142,6 +144,11 @@ NetlistCsr& WirelengthModel::prepare(const PlaceProblem& p) const {
   }
   const auto threads = static_cast<std::size_t>(parallel::num_threads());
   if (scratch_.size() < threads) scratch_.resize(threads);
+  // Pre-size every slot to the largest net so steady-state evals never
+  // reallocate; the per-net ensure() in the axis kernels stays as the
+  // defensive backstop (a larger design on a reused pool must never index
+  // a stale capacity).
+  for (auto& s : scratch_) s.ensure(static_cast<std::size_t>(csr_.max_net_degree));
   RP_COUNT("parallel.wl_evals", 1);
   return csr_;
 }

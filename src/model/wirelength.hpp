@@ -37,10 +37,22 @@
 namespace rp {
 
 /// Per-thread exp scratch for one net axis (owned by the model, one slot
-/// per pool thread, reused across nets and evals).
+/// per pool thread, reused across nets and evals). prepare() sizes every
+/// slot to the CSR's max net degree up front; ensure() revalidates at each
+/// use so a model evaluated on a larger design through a reused ThreadPool
+/// can never index past a stale capacity (the buffers only ever grow).
 struct WlThreadScratch {
-  std::vector<double> ep;  ///< e^{(c - max)/γ}
-  std::vector<double> em;  ///< e^{(min - c)/γ}
+  std::vector<double> ep;   ///< e^{(c - max)/γ}
+  std::vector<double> em;   ///< e^{(min - c)/γ}
+  std::vector<double> arg;  ///< exp arguments (batched SIMD input)
+
+  void ensure(std::size_t n) {
+    if (ep.size() < n) {
+      ep.resize(n);
+      em.resize(n);
+      arg.resize(n);
+    }
+  }
 };
 
 class WirelengthModel {

@@ -9,6 +9,7 @@
 #include "util/obs_context.hpp"
 #include "util/parallel.hpp"
 #include "util/profiler.hpp"
+#include "util/simd.hpp"
 #include "util/telemetry.hpp"
 
 namespace rp {
@@ -16,17 +17,18 @@ namespace rp {
 namespace {
 
 // Vector kernels routed through the deterministic pool: chunk-ordered
-// reductions, so every thread count produces the same bits. The grain keeps
-// small systems (coarse levels, tests) on the inline fast path.
+// reductions, so every thread count produces the same bits. Inside each
+// chunk the dispatched simd kernels run (util/simd.hpp) — scalar and
+// vector levels share one summation tree, so RP_SIMD does not change the
+// bits either. The grain keeps small systems (coarse levels, tests) on the
+// inline fast path.
 constexpr std::size_t kVecGrain = 4096;
 
 double inf_norm(const std::vector<double>& v) {
   return parallel::parallel_reduce(
       v.size(), kVecGrain, 0.0,
       [&](std::size_t b, std::size_t e, int) {
-        double m = 0.0;
-        for (std::size_t i = b; i < e; ++i) m = std::max(m, std::abs(v[i]));
-        return m;
+        return simd::ops().abs_max(v.data() + b, e - b);
       },
       [](double a, double b) { return std::max(a, b); });
 }
@@ -35,9 +37,7 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
   return parallel::parallel_reduce(
       a.size(), kVecGrain, 0.0,
       [&](std::size_t bg, std::size_t e, int) {
-        double s = 0.0;
-        for (std::size_t i = bg; i < e; ++i) s += a[i] * b[i];
-        return s;
+        return simd::ops().dot(a.data() + bg, b.data() + bg, e - bg);
       },
       [](double x, double y) { return x + y; });
 }
@@ -46,7 +46,7 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
 void axpy_into(std::vector<double>& out, const std::vector<double>& z, double alpha,
                const std::vector<double>& d) {
   parallel::parallel_for(out.size(), kVecGrain, [&](std::size_t b, std::size_t e, int) {
-    for (std::size_t i = b; i < e; ++i) out[i] = z[i] + alpha * d[i];
+    simd::ops().axpy_out(z.data() + b, alpha, d.data() + b, e - b, out.data() + b);
   });
 }
 
@@ -62,7 +62,7 @@ CgResult minimize_cg(const CgObjective& f, std::vector<double>& z, const CgOptio
   double fz = f(z, g);
   res.f = fz;
   parallel::parallel_for(n, kVecGrain, [&](std::size_t b, std::size_t e, int) {
-    for (std::size_t i = b; i < e; ++i) d[i] = -g[i];
+    simd::ops().neg(g.data() + b, e - b, d.data() + b);
   });
 
   for (int it = 0; it < opt.max_iters; ++it) {
@@ -103,9 +103,7 @@ CgResult minimize_cg(const CgObjective& f, std::vector<double>& z, const CgOptio
     const double num = parallel::parallel_reduce(
         n, kVecGrain, 0.0,
         [&](std::size_t b, std::size_t e, int) {
-          double s = 0.0;
-          for (std::size_t i = b; i < e; ++i) s += g[i] * (g[i] - g_prev[i]);
-          return s;
+          return simd::ops().pr_num(g.data() + b, g_prev.data() + b, e - b);
         },
         [](double x, double y) { return x + y; });
     const double den = dot(g_prev, g_prev);
@@ -113,18 +111,15 @@ CgResult minimize_cg(const CgObjective& f, std::vector<double>& z, const CgOptio
     const double gd = parallel::parallel_reduce(
         n, kVecGrain, 0.0,
         [&](std::size_t b, std::size_t e, int) {
-          double s = 0.0;
-          for (std::size_t i = b; i < e; ++i) {
-            d[i] = -g[i] + beta * d[i];
-            s += g[i] * d[i];
-          }
-          return s;
+          const simd::Ops& ops = simd::ops();
+          ops.cg_dir(g.data() + b, beta, d.data() + b, e - b);
+          return ops.dot(g.data() + b, d.data() + b, e - b);
         },
         [](double x, double y) { return x + y; });
     // Safeguard: if not a descent direction, restart with steepest descent.
     if (gd >= 0.0) {
       parallel::parallel_for(n, kVecGrain, [&](std::size_t b, std::size_t e, int) {
-        for (std::size_t i = b; i < e; ++i) d[i] = -g[i];
+        simd::ops().neg(g.data() + b, e - b, d.data() + b);
       });
     }
   }
