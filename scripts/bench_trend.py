@@ -15,7 +15,13 @@ The bench binaries append machine-readable JSONL rows to $RP_BENCH_JSON:
     was profiled via RP_PROFILE=1),
   * event-bus overhead (``{"schema": "event_bus_overhead", ...}`` from
     bench_micro_kernels: emit cost, events/sec, and the stream-on vs
-    stream-off flow wall-time ratio).
+    stream-off flow wall-time ratio),
+  * sampler overhead   (``{"schema": "resource_sampler_overhead", ...}``:
+    flow wall time with the resource timeline sampler off vs on — gated by
+    the same <= 1.02 absolute ceiling as the event bus),
+  * campaign medians   (``{"schema": "campaign_cell", ...}`` emitted by
+    ``render_report.py --campaign`` into campaign_trend.jsonl: per-grid-cell
+    medians over seeds, so rp_sweep campaigns feed the same trend gate).
 
 ``aggregate`` flattens those rows into a BENCH_<YYYYMMDD>.json trajectory
 file: a flat ``metrics`` map keyed
@@ -25,6 +31,8 @@ file: a flat ``metrics`` map keyed
   kernel.simd.<kernel>.t1.<m>        off_sec / auto_sec / speedup_vs_off
   kernel.dp_candidate_eval.t1.<m>    full_sec / incremental_sec / speedup_vs_full
   region.<bench>.<flow>.<region>.<m> total_ms / p50_us / p95_us / p99_us
+  campaign.<cell>.<m>                hpwl_median / rc_median / overflow_median
+                                     / runtime_median_sec
 
 Each metric records its value (mean over rows), sample count, and a *kind*
 that decides the regression direction and default noise tolerance:
@@ -43,8 +51,13 @@ that decides the regression direction and default noise tolerance:
 
 ``compare`` checks a current trend file against a committed baseline and
 exits nonzero if any shared metric regressed beyond its tolerance — this is
-the CI gate (see the bench_smoke ctest). Metrics present on only one side
-are reported but never fail the gate (benches come and go).
+the CI gate (see the bench_smoke ctest). Individual metrics present on only
+one side are reported but never fail the gate (benches come and go) — but a
+whole METRIC FAMILY (the first key segment: flow, kernel, region, eventbus,
+sampler, campaign, ...) that the baseline has and the fresh file lacks
+fails with a clear message: a family vanishing wholesale means a producer
+stopped emitting, not that one bench was renamed. New unbaselined families
+are reported as NEW FAMILY.
 
 stdlib only; no third-party dependencies.
 """
@@ -155,6 +168,16 @@ def metrics_from_rows(rows):
             for m in ("events_per_sec", "emit_ns", "emit_streamed_ns",
                       "flow_off_sec", "flow_on_sec", "overhead_ratio"):
                 add("eventbus.%s" % m, row.get(m))
+        elif schema == "resource_sampler_overhead":
+            # samples_taken stays in the raw row but is not trended — the
+            # count tracks wall time, which run-to-run noise moves freely.
+            for m in ("flow_off_sec", "flow_on_sec", "overhead_ratio"):
+                add("sampler.%s" % m, row.get(m))
+        elif schema == "campaign_cell":
+            base = "campaign.%s" % row.get("cell", "?")
+            for m in ("hpwl_median", "rc_median", "overflow_median",
+                      "runtime_median_sec"):
+                add("%s.%s" % (base, m), row.get(m))
         elif "schema_version" in row and "design" in row:
             base = "flow.%s.%s" % (row["design"].get("name", "?"), row.get("mode", "?"))
             ev = row.get("eval", {})
@@ -207,7 +230,18 @@ def load_trend(path):
         fail("cannot load trend file '%s': %s" % (path, e))
     if doc.get("schema") != "bench_trend" or "metrics" not in doc:
         fail("'%s' is not a bench_trend file" % path)
+    # Validate up front so a malformed entry fails with a named metric, not
+    # a KeyError traceback deep inside the comparison loop.
+    for key, entry in doc["metrics"].items():
+        if not isinstance(entry, dict) or isinstance(entry.get("value"), bool) \
+                or not isinstance(entry.get("value"), (int, float)):
+            fail("'%s': metric '%s' has no numeric 'value'" % (path, key))
     return doc
+
+
+def metric_family(key):
+    """First key segment: the producer group a metric belongs to."""
+    return key.split(".", 1)[0]
 
 
 def cmd_compare(args):
@@ -264,11 +298,18 @@ def cmd_compare(args):
 
     only_base = sorted(set(bm) - set(cm))
     only_cur = sorted(set(cm) - set(bm))
+    missing_families = sorted({metric_family(k) for k in bm}
+                              - {metric_family(k) for k in cm})
+    new_families = sorted({metric_family(k) for k in cm}
+                          - {metric_family(k) for k in bm})
 
     print("bench_trend: %s (%s) vs %s (%s): %d shared metrics" %
           (args.baseline, base.get("date", "?"), args.current, cur.get("date", "?"), checked))
     for key, b, c, ratio in improvements:
         print("  IMPROVED   %-55s %.4g -> %.4g (%.2fx)" % (key, b, c, ratio))
+    for fam in new_families:
+        print("  NEW FAMILY %s.* (not in the baseline; will be gated once "
+              "baselined)" % fam)
     for key in only_base:
         print("  DROPPED    %s" % key)
     for key in only_cur:
@@ -276,6 +317,14 @@ def cmd_compare(args):
     for key, b, c, ratio in regressions:
         print("  REGRESSED  %-55s %.4g -> %.4g (%.2fx)" % (key, b, c, ratio))
 
+    if missing_families:
+        print("bench_trend: FAIL — baseline metric family(ies) missing from "
+              "the fresh file: %s. A whole family vanishing means its "
+              "producer stopped emitting rows (bench not run, schema "
+              "renamed, or $RP_BENCH_JSON truncated) — re-run the bench or "
+              "re-baseline deliberately." % ", ".join(missing_families),
+              file=sys.stderr)
+        return 1
     if checked == 0:
         print("bench_trend: FAIL — no shared metrics to compare", file=sys.stderr)
         return 1

@@ -15,7 +15,11 @@ Runs the routplace binary twice:
        * gp_iter lines carry finite hpwl/overflow payloads and their count
          matches the report's counters;
        * the line count equals the report's "events.emitted" total — the
-         cross-check that the stream did not drop or duplicate events.
+         cross-check that the stream did not drop or duplicate events;
+       * interleaved "rp_resource" lines (the background resource sampler,
+         on by default) are well-formed: versioned, monotone t_ms among
+         themselves, pool_busy in [0,1] — they carry no "seq" and do not
+         participate in the rp_progress ordering contract.
 
   2. A run on a malformed Bookshelf input with `--flight-json` +
      `--progress-ndjson`, which must exit 3 (ParseError) and leave
@@ -67,6 +71,42 @@ def load_ndjson(path, what):
     check(text.endswith("\n") or not text,
           f"{what}: stream does not end with a newline")
     return lines
+
+
+def split_schemas(lines, what):
+    """Partition a mixed stream into rp_progress events and rp_resource
+    sampler lines (interleaved by the background resource sampler). Any
+    other schema is a failure."""
+    progress, resource = [], []
+    for i, obj in enumerate(lines):
+        schema = obj.get("schema")
+        if schema == "rp_progress":
+            progress.append(obj)
+        elif schema == "rp_resource":
+            resource.append(obj)
+        else:
+            FAILURES.append(f"{what}: line {i + 1} has unknown schema "
+                            f"{schema!r}")
+    return progress, resource
+
+
+def validate_resource_lines(lines, what):
+    """Minimal shape check for interleaved sampler lines: versioned, finite,
+    non-negative, pool_busy a fraction. Timestamps are wall clock on a
+    background thread — no ordering guarantee against rp_progress lines,
+    but the sampler's own lines are monotone."""
+    prev_t = -math.inf
+    for i, ev in enumerate(lines):
+        where = f"{what}: rp_resource line {i + 1}"
+        for key in ("v", "t_ms", "rss_kb", "utime_ms", "stime_ms", "pool_busy"):
+            if not check(key in ev, f"{where}: missing '{key}'"):
+                return
+        check(ev["v"] == 1, f"{where}: v != 1")
+        check(ev["t_ms"] >= prev_t, f"{where}: t_ms went backwards")
+        prev_t = ev["t_ms"]
+        check(ev["rss_kb"] >= 0, f"{where}: negative rss_kb")
+        check(0.0 <= ev["pool_busy"] <= 1.0,
+              f"{where}: pool_busy {ev['pool_busy']} outside [0,1]")
 
 
 def validate_stream(lines, what):
@@ -130,11 +170,16 @@ def validate_success_run(binary, tmp):
     if not check(proc.returncode == 0,
                  f"success run: exit {proc.returncode}\n{proc.stderr}"):
         return
-    lines = load_ndjson(stream, "success stream")
-    if lines is None:
+    raw_lines = load_ndjson(stream, "success stream")
+    if raw_lines is None:
         return
+    lines, resource = split_schemas(raw_lines, "success stream")
     validate_stream(lines, "success stream")
+    validate_resource_lines(resource, "success stream")
     check(lines[-1]["event"] == "run_end", "success stream: no run_end")
+    # The sampler is on by default (RP_SAMPLE_MS / --sample-resources to
+    # tune) — a run of any length must interleave at least one sample.
+    check(len(resource) > 0, "success stream: no rp_resource sampler lines")
 
     try:
         report = json.loads(report_path.read_text())
@@ -182,9 +227,11 @@ def validate_error_run(binary, tmp):
     check(proc.returncode == 3,
           f"error run: exit {proc.returncode}, expected 3 (ParseError)")
 
-    lines = load_ndjson(stream, "error stream")
-    if lines is not None and check(len(lines) > 0, "error stream: empty"):
+    raw_lines = load_ndjson(stream, "error stream")
+    if raw_lines is not None and check(len(raw_lines) > 0, "error stream: empty"):
+        lines, resource = split_schemas(raw_lines, "error stream")
         validate_stream(lines, "error stream")
+        validate_resource_lines(resource, "error stream")
         last = lines[-1]
         check(last["event"] == "error", "error stream: last event != error")
         check(last.get("code") == "ParseError",

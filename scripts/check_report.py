@@ -11,6 +11,9 @@ Runs `routplace --gen ... --profile --report-json ... --trace-json ...
   * the "profile" block (schema v2): enough regions, per-region histogram
     bucket monotonicity, quantile ordering p50<=p95<=p99<=max, and per-worker
     busy+wait summing to the pool's region wall time;
+  * the "resources" block (schema v5, resource timeline sampler): monotone
+    sample timestamps, peaks dominating every kept sample, pool_busy a
+    fraction in [0,1], and samples_taken >= the kept (downsampled) count;
   * the trace file as a loadable Chrome trace-event document with spans for
     every flow stage, each multilevel level, and each routability round, plus
     per-worker pool/chunk spans on named worker lanes;
@@ -83,7 +86,7 @@ def validate_report(report, stdout_text):
     if FAILURES:
         return
 
-    check(report["schema_version"] == 4, "report: schema_version != 4")
+    check(report["schema_version"] == 5, "report: schema_version != 5")
     check(report["tool"] == "routplace", "report: tool != routplace")
 
     # v4: the event-bus totals block.
@@ -295,6 +298,58 @@ def validate_profile(report, threads):
     validate_histogram(pool["chunk"], "report.profile.pool.chunk")
 
 
+def validate_resources(report):
+    """Schema v5 'resources' block written by the resource timeline sampler
+    (on by default; --sample-resources 0 drops the block entirely)."""
+    if not check("resources" in report,
+                 "report: no 'resources' block (sampler is on by default)"):
+        return
+    res = report["resources"]
+    expect_keys(res, ["tick_ms", "effective_tick_ms", "downsample_rounds",
+                      "samples_taken", "peak_rss_kb", "peak_pool_busy",
+                      "cpu_utime_ms", "cpu_stime_ms", "samples"],
+                "report.resources")
+    if FAILURES:
+        return
+    check(res["tick_ms"] > 0, "report.resources.tick_ms not positive")
+    check(res["effective_tick_ms"] >= res["tick_ms"],
+          "report.resources.effective_tick_ms < tick_ms")
+    check(res["downsample_rounds"] >= 0,
+          "report.resources.downsample_rounds negative")
+    samples = res["samples"]
+    check(isinstance(samples, list) and len(samples) >= 2,
+          "report.resources.samples has fewer than 2 samples "
+          "(first + final are force-kept)")
+    check(res["samples_taken"] >= len(samples),
+          "report.resources.samples_taken < kept sample count")
+    check(res["peak_rss_kb"] > 0, "report.resources.peak_rss_kb not positive")
+    check(0.0 <= res["peak_pool_busy"] <= 1.0,
+          "report.resources.peak_pool_busy outside [0,1]")
+    check(res["cpu_utime_ms"] >= 0 and res["cpu_stime_ms"] >= 0,
+          "report.resources: negative CPU time")
+    prev_t = -math.inf
+    for i, s in enumerate(samples):
+        where = f"report.resources.samples[{i}]"
+        expect_keys(s, ["t_ms", "rss_kb", "utime_ms", "stime_ms", "pool_busy"],
+                    where)
+        if FAILURES:
+            return
+        check(s["t_ms"] >= prev_t, f"{where}: t_ms not monotone")
+        prev_t = s["t_ms"]
+        # The peaks are tracked over EVERY sample taken, kept or not — they
+        # must dominate the whole kept series.
+        check(s["rss_kb"] <= res["peak_rss_kb"],
+              f"{where}: rss_kb {s['rss_kb']} > peak {res['peak_rss_kb']}")
+        check(0.0 <= s["pool_busy"] <= 1.0,
+              f"{where}: pool_busy {s['pool_busy']} outside [0,1]")
+        check(s["pool_busy"] <= res["peak_pool_busy"] + 1e-12,
+              f"{where}: pool_busy above peak_pool_busy")
+    # The report-level peak_rss_kb (getrusage high-water mark) can never be
+    # below what the sampler observed mid-run.
+    check(res["peak_rss_kb"] <= report.get("peak_rss_kb", 0),
+          "report.resources.peak_rss_kb exceeds the process high-water mark")
+
+
 def validate_parse_block(report, expect_mode):
     """Schema v3 'parse' block: Bookshelf mode + lenient-repair counters."""
     if not check("parse" in report,
@@ -373,8 +428,8 @@ def run_negative_path(binary, tmp):
     report = load_json_strict(report_path, "failed-run report")
     if report is None:
         return
-    check(report.get("schema_version") == 4,
-          "failed-run report: schema_version != 4")
+    check(report.get("schema_version") == 5,
+          "failed-run report: schema_version != 5")
     validate_error_block(report, "ParseError", 3)
     validate_parse_block(report, "strict")
     if "error" in report:
@@ -494,6 +549,7 @@ def main():
 
         validate_report(report, proc.stdout)
         validate_profile(report, threads)
+        validate_resources(report)
         # Inflation may converge early; only require the rounds that ran.
         ran_rounds = min(rounds, report.get("gp", {}).get("inflation_rounds", 0))
         validate_trace(trace, report.get("gp", {}).get("levels", 0), ran_rounds,

@@ -132,12 +132,14 @@ const std::vector<std::string>& report_diff_default_ignores() {
   // thread-pool provenance block (thread count / pool statistics), the
   // simd/incremental dispatch provenance block (results are identical at
   // every vector level and with incremental eval on or off — only the
-  // provenance strings differ), and the profiler block ("profile" is
-  // dotless so the key's very presence — one run profiled, the other not —
-  // is ignored too, not just its leaves).
+  // provenance strings differ), the profiler block ("profile" is dotless so
+  // the key's very presence — one run profiled, the other not — is ignored
+  // too, not just its leaves), and the sampled resource timeline
+  // ("resources", dotless for the same reason: wall-clock RSS/CPU
+  // observations are nondeterministic by nature).
   static const std::vector<std::string> kIgnores = {
       "stage_times", "stage_total_sec", "peak_rss_kb", "build.", "snapshot_dir",
-      "parallel.", "simd.", "profile",
+      "parallel.", "simd.", "profile", "resources",
   };
   return kIgnores;
 }

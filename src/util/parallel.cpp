@@ -240,6 +240,7 @@ void ThreadPool::worker_loop(int worker_id) {
     }
     Impl::WorkerSlot& slot = s.slots[static_cast<std::size_t>(worker_id)];
     t_in_region = true;
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
     int done = 0;
     for (;;) {
       const int c = s.next_chunk.fetch_add(1, std::memory_order_relaxed);
@@ -253,6 +254,7 @@ void ThreadPool::worker_loop(int worker_id) {
       }
       ++done;
     }
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
     t_in_region = false;
     {
       std::unique_lock<std::mutex> lk(s.m);
@@ -275,6 +277,8 @@ void ThreadPool::run(const ChunkPlan& plan, const std::function<void(int, int)>&
     // would double-count busy time, so only top-level regions are profiled.
     const bool profile = !was_in_region && g_pool_profiling;
     t_in_region = true;
+    // Nested regions are already counted by their enclosing top-level region.
+    if (!was_in_region) busy_workers_.fetch_add(1, std::memory_order_relaxed);
     if (profile) {
       std::unique_lock<std::mutex> submit_lk(impl_->submit_m);
       Impl::WorkerSlot& slot = impl_->slots[0];
@@ -291,6 +295,7 @@ void ThreadPool::run(const ChunkPlan& plan, const std::function<void(int, int)>&
       for (int c = 0; c < plan.count; ++c) fn(c, 0);
       t_in_region = was_in_region;
     }
+    if (!was_in_region) busy_workers_.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
   Impl& s = *impl_;
@@ -315,6 +320,7 @@ void ThreadPool::run(const ChunkPlan& plan, const std::function<void(int, int)>&
   // The caller is worker 0.
   Impl::WorkerSlot& slot = s.slots[0];
   t_in_region = true;
+  busy_workers_.fetch_add(1, std::memory_order_relaxed);
   int done = 0;
   for (;;) {
     const int c = s.next_chunk.fetch_add(1, std::memory_order_relaxed);
@@ -328,6 +334,7 @@ void ThreadPool::run(const ChunkPlan& plan, const std::function<void(int, int)>&
     }
     ++done;
   }
+  busy_workers_.fetch_sub(1, std::memory_order_relaxed);
   t_in_region = false;
   {
     std::unique_lock<std::mutex> lk(s.m);

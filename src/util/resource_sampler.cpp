@@ -1,0 +1,219 @@
+#include "util/resource_sampler.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "util/event_bus.hpp"
+#include "util/parallel.hpp"
+#include "util/profiler.hpp"
+#include "util/telemetry.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define RP_SAMPLER_POSIX 1
+#endif
+
+namespace rp::obs {
+
+// ---------------------------------------------------------- measurement
+
+std::int64_t ResourceSampler::current_rss_kb() {
+#if defined(__linux__)
+  // /proc/self/statm field 2 is resident pages; one bounded read, no stdio
+  // buffering churn. Cheaper and CURRENT (getrusage only exposes the peak).
+  static const long page_kb = ::sysconf(_SC_PAGESIZE) / 1024;
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long long size = 0, resident = 0;
+    const int n = std::fscanf(f, "%lld %lld", &size, &resident);
+    std::fclose(f);
+    if (n == 2 && resident >= 0)
+      return static_cast<std::int64_t>(resident) *
+             (page_kb > 0 ? page_kb : 4);
+  }
+#endif
+#ifdef RP_SAMPLER_POSIX
+  struct rusage ru{};
+  if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(ru.ru_maxrss / 1024);  // bytes
+#else
+    return static_cast<std::int64_t>(ru.ru_maxrss);  // KiB
+#endif
+  }
+#endif
+  return 0;
+}
+
+void ResourceSampler::cpu_times_ms(std::uint64_t* utime_ms,
+                                   std::uint64_t* stime_ms) {
+  std::uint64_t u = 0, s = 0;
+#ifdef RP_SAMPLER_POSIX
+  struct rusage ru{};
+  if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+    u = static_cast<std::uint64_t>(ru.ru_utime.tv_sec) * 1000u +
+        static_cast<std::uint64_t>(ru.ru_utime.tv_usec) / 1000u;
+    s = static_cast<std::uint64_t>(ru.ru_stime.tv_sec) * 1000u +
+        static_cast<std::uint64_t>(ru.ru_stime.tv_usec) / 1000u;
+  }
+#endif
+  if (utime_ms != nullptr) *utime_ms = u;
+  if (stime_ms != nullptr) *stime_ms = s;
+}
+
+// -------------------------------------------------------------- NDJSON
+
+std::string resource_ndjson(const ResourceSample& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"schema\":\"rp_resource\",\"v\":1,\"t_ms\":%llu,"
+                "\"rss_kb\":%lld,\"utime_ms\":%llu,\"stime_ms\":%llu,"
+                "\"pool_busy\":%.4f}",
+                static_cast<unsigned long long>(s.t_ms),
+                static_cast<long long>(s.rss_kb),
+                static_cast<unsigned long long>(s.utime_ms),
+                static_cast<unsigned long long>(s.stime_ms), s.pool_busy);
+  return buf;
+}
+
+// ------------------------------------------------------------- sampler
+
+ResourceSampler::~ResourceSampler() { stop(); }
+
+ResourceSample ResourceSampler::take_sample() const {
+  ResourceSample s;
+  s.t_ms = (profiler::now_ns() - epoch_ns_) / 1000000u;
+  s.rss_kb = current_rss_kb();
+  cpu_times_ms(&s.utime_ms, &s.stime_ms);
+  const auto& pool = parallel::ThreadPool::instance();
+  const int threads = pool.threads();
+  int busy = pool.busy_workers();
+  if (busy < 0) busy = 0;
+  if (busy > threads) busy = threads;
+  s.pool_busy = threads > 0 ? static_cast<double>(busy) / threads : 0.0;
+  return s;
+}
+
+void ResourceSampler::init(const Options& opt) {
+  stop();
+  std::lock_guard<std::mutex> lk(m_);
+  opt_ = opt;
+  if (opt_.tick_ms < 1) opt_.tick_ms = 1;
+  if (opt_.capacity < 4) opt_.capacity = 4;
+  enabled_ = true;
+  epoch_ns_ = profiler::now_ns();
+  stride_ = 1;
+  taken_ = 0;
+  downsample_rounds_ = 0;
+  peak_rss_kb_ = 0;
+  peak_pool_busy_ = 0.0;
+  last_utime_ms_ = last_stime_ms_ = 0;
+  ring_.clear();
+  ring_.reserve(static_cast<std::size_t>(opt_.capacity));
+  ingest(take_sample(), /*force_keep=*/true);  // t=0 anchor
+}
+
+void ResourceSampler::ingest(const ResourceSample& s, bool force_keep) {
+  ++taken_;
+  if (s.rss_kb > peak_rss_kb_) peak_rss_kb_ = s.rss_kb;
+  if (s.pool_busy > peak_pool_busy_) peak_pool_busy_ = s.pool_busy;
+  last_utime_ms_ = s.utime_ms;
+  last_stime_ms_ = s.stime_ms;
+  // Keep every stride-th sample (sample 0 always kept); peaks above already
+  // saw the dropped ones, so "peak >= every kept sample" is preserved.
+  if (!force_keep && (taken_ - 1) % static_cast<std::int64_t>(stride_) != 0)
+    return;
+  ring_.push_back(s);
+  if (ring_.size() >= static_cast<std::size_t>(opt_.capacity)) {
+    // Compact in place: keep even indices, double the stride. The timeline
+    // coarsens instead of truncating.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < ring_.size(); r += 2) ring_[w++] = ring_[r];
+    ring_.resize(w);
+    stride_ *= 2;
+    ++downsample_rounds_;
+  }
+  if (opt_.stream != nullptr) {
+    const std::string line = resource_ndjson(s);
+    opt_.stream->write_raw_line(line.data(), line.size());
+  }
+}
+
+void ResourceSampler::ingest_for_test(const ResourceSample& s) {
+  std::lock_guard<std::mutex> lk(m_);
+  ingest(s, /*force_keep=*/false);
+}
+
+void ResourceSampler::start(const Options& opt) {
+  if (running()) return;
+  init(opt);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_requested_ = false;
+    thread_running_ = true;
+  }
+  thread_ = std::thread([this] { sampler_loop(); });
+}
+
+void ResourceSampler::sampler_loop() {
+  std::unique_lock<std::mutex> lk(m_);
+  while (!stop_requested_) {
+    // Ticks drift with processing time; fine — t_ms carries the real clock.
+    if (cv_.wait_for(lk, std::chrono::milliseconds(opt_.tick_ms),
+                     [this] { return stop_requested_; }))
+      break;
+    lk.unlock();
+    const ResourceSample s = take_sample();  // syscalls outside the lock
+    lk.lock();
+    if (stop_requested_) break;
+    ingest(s, /*force_keep=*/false);
+  }
+  thread_running_ = false;
+}
+
+void ResourceSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!thread_running_ && !thread_.joinable()) {
+      // Never started (or already stopped and joined): nothing to do beyond
+      // the final sample below when enabled.
+      if (!enabled_) return;
+    }
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+    // Final sample from the calling thread: even a sub-tick run yields a
+    // start + end pair, and the series always covers the full run span.
+    const ResourceSample s = take_sample();
+    std::lock_guard<std::mutex> lk(m_);
+    ingest(s, /*force_keep=*/true);
+    stop_requested_ = false;
+  }
+}
+
+bool ResourceSampler::running() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return thread_running_;
+}
+
+ResourceSampler::Summary ResourceSampler::summary() const {
+  std::lock_guard<std::mutex> lk(m_);
+  Summary out;
+  out.enabled = enabled_;
+  if (!enabled_) return out;
+  out.tick_ms = opt_.tick_ms;
+  out.effective_tick_ms = opt_.tick_ms * static_cast<int>(stride_);
+  out.downsample_rounds = downsample_rounds_;
+  out.samples_taken = taken_;
+  out.peak_rss_kb = peak_rss_kb_;
+  out.peak_pool_busy = peak_pool_busy_;
+  out.cpu_utime_ms = last_utime_ms_;
+  out.cpu_stime_ms = last_stime_ms_;
+  out.samples = ring_;
+  return out;
+}
+
+}  // namespace rp::obs

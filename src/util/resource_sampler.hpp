@@ -1,0 +1,138 @@
+#pragma once
+// Low-overhead in-process resource timeline sampler.
+//
+// A single background thread wakes on a fixed tick (default 25 ms) and
+// records one ResourceSample — current RSS, cumulative process CPU
+// (utime/stime), and the thread pool's instantaneous busy fraction — into a
+// PRE-ALLOCATED ring owned by the sampler. The sampled timeline feeds two
+// sinks:
+//
+//  * the run report's schema-v5 "resources" block (peaks + kept time
+//    series), so campaign dashboards can plot memory/CPU envelopes per
+//    configuration instead of the single peak-RSS scalar we had before;
+//  * optionally, live "rp_resource" NDJSON lines interleaved into the
+//    --progress-ndjson stream via EventBus::write_raw_line().
+//
+// Determinism: samples are WALL-CLOCK observations of the process, not
+// functions of the placement computation, so they are nondeterministic by
+// nature. They therefore never touch the EventBus ring/seq machinery (whose
+// payloads are contractually deterministic); the "resources" report block is
+// on the report-diff default ignore list, and the determinism gate drops
+// "rp_resource" stream lines before comparing. Crucially the sampler only
+// OBSERVES — it reads /proc and relaxed atomics — so running it cannot
+// perturb placement results; a dedicated test asserts byte-identical
+// placements with the sampler on vs. off.
+//
+// Overflow policy: the ring holds `capacity` kept samples. When it fills,
+// it is compacted in place keeping every 2nd sample and the keep-stride
+// doubles — the timeline coarsens (25 ms -> 50 ms -> ...) instead of
+// truncating, so an arbitrarily long run always yields a bounded,
+// full-length series. Peaks are tracked over EVERY sample taken, including
+// ones the stride drops, so "peak >= every kept sample" always holds.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rp::obs {
+
+class EventBus;
+
+/// One observation. t_ms is milliseconds since start() (monotone clock).
+struct ResourceSample {
+  std::uint64_t t_ms = 0;
+  std::int64_t rss_kb = 0;        ///< Current resident set, KiB.
+  std::uint64_t utime_ms = 0;     ///< Cumulative process user CPU, ms.
+  std::uint64_t stime_ms = 0;     ///< Cumulative process system CPU, ms.
+  double pool_busy = 0.0;         ///< busy_workers / threads, in [0,1].
+};
+
+class ResourceSampler {
+ public:
+  static constexpr int kDefaultTickMs = 25;
+  static constexpr int kDefaultCapacity = 512;
+
+  struct Options {
+    int tick_ms = kDefaultTickMs;
+    int capacity = kDefaultCapacity;  ///< Kept samples; >= 4.
+    EventBus* stream = nullptr;       ///< Live NDJSON sink (may be null).
+  };
+
+  ResourceSampler() = default;
+  ~ResourceSampler();
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  /// Configure and take the first sample, WITHOUT spawning the thread.
+  /// start() calls this; tests call it directly and drive ingest_for_test().
+  /// Re-initializing discards any previous timeline.
+  void init(const Options& opt);
+
+  /// init() + spawn the background thread. No-op if already running.
+  void start(const Options& opt);
+
+  /// Stop the thread (if running) and append one final sample taken on the
+  /// calling thread, so even a sub-tick run yields a >= 2 point series.
+  /// Idempotent; safe to call without start().
+  void stop();
+
+  bool running() const;
+
+  struct Summary {
+    bool enabled = false;           ///< init()/start() was called.
+    int tick_ms = 0;                ///< Requested tick.
+    int effective_tick_ms = 0;      ///< tick_ms * 2^downsample_rounds.
+    int downsample_rounds = 0;
+    std::int64_t samples_taken = 0; ///< Including stride-dropped ones.
+    std::int64_t peak_rss_kb = 0;   ///< Over ALL samples taken.
+    double peak_pool_busy = 0.0;    ///< Over ALL samples taken.
+    std::uint64_t cpu_utime_ms = 0; ///< Last observed cumulative user CPU.
+    std::uint64_t cpu_stime_ms = 0;
+    std::vector<ResourceSample> samples;  ///< Kept timeline, oldest first.
+  };
+  /// Snapshot the timeline. Callable while running (locks the ring).
+  Summary summary() const;
+
+  /// Feed one synthetic sample through the real keep/downsample path
+  /// (tests). Requires init(); must not race a running sampler thread.
+  void ingest_for_test(const ResourceSample& s);
+
+  // -------------------------------------------------- platform measurement
+  /// Current resident set in KiB (/proc/self/statm on Linux; falls back to
+  /// the getrusage peak elsewhere). Never negative.
+  static std::int64_t current_rss_kb();
+  /// Cumulative process CPU in milliseconds (getrusage).
+  static void cpu_times_ms(std::uint64_t* utime_ms, std::uint64_t* stime_ms);
+
+ private:
+  void ingest(const ResourceSample& s, bool force_keep);  // m_ held
+  ResourceSample take_sample() const;
+  void sampler_loop();
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool thread_running_ = false;
+  bool stop_requested_ = false;
+
+  // All below guarded by m_ once the thread runs.
+  Options opt_;
+  bool enabled_ = false;
+  std::uint64_t epoch_ns_ = 0;
+  std::uint64_t stride_ = 1;       ///< Keep every stride-th sample.
+  std::int64_t taken_ = 0;
+  int downsample_rounds_ = 0;
+  std::int64_t peak_rss_kb_ = 0;
+  double peak_pool_busy_ = 0.0;
+  std::uint64_t last_utime_ms_ = 0;
+  std::uint64_t last_stime_ms_ = 0;
+  std::vector<ResourceSample> ring_;  ///< Kept samples, oldest first.
+};
+
+/// Serialize one sample as an "rp_resource" NDJSON line (no newline).
+/// Distinct schema from "rp_progress" so stream consumers can filter.
+std::string resource_ndjson(const ResourceSample& s);
+
+}  // namespace rp::obs

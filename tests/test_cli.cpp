@@ -139,6 +139,59 @@ TEST(Cli, ParsesSnapshotFlags) {
   EXPECT_NE(cli_usage().find("--snapshot-dir"), std::string::npos);
 }
 
+TEST(Cli, ParsesWlModelAndInflateRate) {
+  EXPECT_TRUE(parse_cli_args({}).wl_model.empty());  // empty = mode default
+  EXPECT_EQ(parse_cli_args({"--wl-model", "LSE"}).wl_model, "LSE");
+  EXPECT_EQ(parse_cli_args({"--wl-model", "WA"}).wl_model, "WA");
+  EXPECT_THROW(parse_cli_args({"--wl-model", "exact"}), std::runtime_error);
+  EXPECT_DOUBLE_EQ(parse_cli_args({}).inflate_rate, -1.0);  // -1 = default
+  EXPECT_DOUBLE_EQ(parse_cli_args({"--inflate-rate", "0.3"}).inflate_rate, 0.3);
+  EXPECT_THROW(parse_cli_args({"--inflate-rate", "11"}), std::runtime_error);
+  EXPECT_THROW(parse_cli_args({"--inflate-rate", "-0.5"}), std::runtime_error);
+
+  const FlowOptions opt = cli_flow_options(
+      parse_cli_args({"--wl-model", "LSE", "--inflate-rate", "0.3"}));
+  EXPECT_EQ(opt.gp.wl_model, "LSE");
+  EXPECT_DOUBLE_EQ(opt.gp.routability.inflate_rate, 0.3);
+  // Unset flags leave the mode defaults untouched.
+  const FlowOptions def = cli_flow_options(parse_cli_args({}));
+  EXPECT_EQ(def.gp.wl_model, "WA");
+  EXPECT_NE(cli_usage().find("--wl-model"), std::string::npos);
+  EXPECT_NE(cli_usage().find("--inflate-rate"), std::string::npos);
+}
+
+TEST(Cli, ParsesSampleResourcesFlag) {
+  EXPECT_EQ(parse_cli_args({}).sample_resources_ms, -1);  // -1 = env/default
+  EXPECT_EQ(parse_cli_args({"--sample-resources", "0"}).sample_resources_ms, 0);
+  EXPECT_EQ(parse_cli_args({"--sample-resources", "100"}).sample_resources_ms,
+            100);
+  EXPECT_THROW(parse_cli_args({"--sample-resources", "-5"}),
+               std::runtime_error);
+  EXPECT_NE(cli_usage().find("--sample-resources"), std::string::npos);
+  EXPECT_NE(cli_usage().find("RP_SAMPLE_MS"), std::string::npos);
+}
+
+TEST(Cli, SampleResourcesZeroDropsTheBlock) {
+  Logger::set_level(LogLevel::Error);
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "rp_cli_nosample";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path report = dir / "run.report.json";
+  CliConfig c = parse_cli_args(
+      {"--gen", "200", "--seed", "3", "--rounds", "0",
+       "--sample-resources", "0",
+       "--out", (dir / "out.pl").string(), "--report-json", report.string()});
+  EXPECT_EQ(run_cli(c), 0);
+  std::ifstream in(report);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const JsonValue rep = json_parse(ss.str());
+  EXPECT_EQ(rep.at("schema_version").num, 5.0);
+  EXPECT_FALSE(rep.has("resources"));  // sampler off — block absent
+  fs::remove_all(dir);
+}
+
 TEST(Cli, EndToEndEmitsReportAndTrace) {
   Logger::set_level(LogLevel::Error);
   namespace fs = std::filesystem;
@@ -162,8 +215,14 @@ TEST(Cli, EndToEndEmitsReportAndTrace) {
 
   // Report: schema-valid and self-consistent.
   const JsonValue rep = json_parse(slurp(report));
-  EXPECT_EQ(rep.at("schema_version").num, 4.0);
+  EXPECT_EQ(rep.at("schema_version").num, 5.0);
   EXPECT_FALSE(rep.has("profile"));  // off by default — the block is absent
+  // v5: the resource sampler is on by default; the timeline always keeps
+  // at least the forced first + final samples.
+  ASSERT_TRUE(rep.has("resources"));
+  EXPECT_GT(rep.at("resources").at("tick_ms").num, 0.0);
+  EXPECT_GE(rep.at("resources").at("samples").arr.size(), 2u);
+  EXPECT_GT(rep.at("resources").at("peak_rss_kb").num, 0.0);
   EXPECT_EQ(rep.at("design").at("name").str, "gen300");
   EXPECT_GT(rep.at("eval").at("hpwl").num, 0.0);
   EXPECT_GE(rep.at("eval").at("scaled_hpwl").num, rep.at("eval").at("hpwl").num);

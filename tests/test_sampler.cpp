@@ -1,0 +1,242 @@
+// Resource timeline sampler tests (util/resource_sampler.hpp).
+//
+// The ring/downsampling policy is driven synthetically through init() +
+// ingest_for_test() — no background thread, so every keep/compact decision
+// is deterministic and assertable. The real thread is exercised by a short
+// smoke run, the NDJSON interleave by streaming into a temp file, and the
+// only contract that really matters — the sampler OBSERVES and never
+// perturbs — by a byte-exact placement comparison with the sampler on vs
+// off.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "gen/generator.hpp"
+#include "util/event_bus.hpp"
+#include "util/json.hpp"
+#include "util/logger.hpp"
+#include "util/obs_context.hpp"
+#include "util/resource_sampler.hpp"
+
+namespace rp {
+namespace {
+
+namespace fs = std::filesystem;
+
+obs::ResourceSample synthetic(std::uint64_t t_ms, std::int64_t rss_kb,
+                              double busy = 0.0) {
+  obs::ResourceSample s;
+  s.t_ms = t_ms;
+  s.rss_kb = rss_kb;
+  s.utime_ms = t_ms;
+  s.stime_ms = t_ms / 2;
+  s.pool_busy = busy;
+  return s;
+}
+
+// ------------------------------------------------------------ ring policy
+
+TEST(ResourceSampler, KeepsEverythingBelowCapacity) {
+  obs::ResourceSampler sampler;
+  obs::ResourceSampler::Options opt;
+  opt.tick_ms = 10;
+  opt.capacity = 64;
+  sampler.init(opt);  // takes the forced first sample
+  for (int i = 1; i <= 20; ++i)
+    sampler.ingest_for_test(synthetic(10u * i, 1000 + i));
+  const auto sum = sampler.summary();
+  EXPECT_TRUE(sum.enabled);
+  EXPECT_EQ(sum.downsample_rounds, 0);
+  EXPECT_EQ(sum.effective_tick_ms, 10);
+  EXPECT_EQ(sum.samples_taken, 21);  // init's + 20 synthetic
+  EXPECT_EQ(sum.samples.size(), 21u);
+}
+
+TEST(ResourceSampler, DownsamplesInsteadOfTruncating) {
+  obs::ResourceSampler sampler;
+  obs::ResourceSampler::Options opt;
+  opt.tick_ms = 10;
+  opt.capacity = 8;  // tiny ring -> several compaction rounds
+  sampler.init(opt);
+  const int kTotal = 200;
+  for (int i = 1; i <= kTotal; ++i)
+    sampler.ingest_for_test(synthetic(10u * i, 1000 + i));
+  const auto sum = sampler.summary();
+  EXPECT_EQ(sum.samples_taken, kTotal + 1);
+  // Bounded, never truncated: the kept series spans the whole run.
+  EXPECT_LE(sum.samples.size(), 8u);
+  EXPECT_GE(sum.samples.size(), 2u);
+  EXPECT_GT(sum.downsample_rounds, 0);
+  EXPECT_EQ(sum.effective_tick_ms, 10 << sum.downsample_rounds);
+  // Timeline stays monotone and ordered oldest-first after compaction.
+  for (std::size_t i = 1; i < sum.samples.size(); ++i)
+    EXPECT_GE(sum.samples[i].t_ms, sum.samples[i - 1].t_ms);
+  // The stride coarsens the TAIL resolution but the series still reaches
+  // deep into the run.
+  EXPECT_GE(sum.samples.back().t_ms, 10u * (kTotal / 2));
+}
+
+TEST(ResourceSampler, PeaksCoverDroppedSamples) {
+  obs::ResourceSampler sampler;
+  obs::ResourceSampler::Options opt;
+  opt.tick_ms = 10;
+  opt.capacity = 4;  // minimum ring; nearly everything gets dropped
+  sampler.init(opt);
+  for (int i = 1; i <= 100; ++i) {
+    // One huge spike mid-run that the stride will almost surely drop.
+    const std::int64_t rss = (i == 57) ? 999999 : 1000 + i;
+    const double busy = (i == 57) ? 0.875 : 0.25;
+    sampler.ingest_for_test(synthetic(10u * i, rss, busy));
+  }
+  const auto sum = sampler.summary();
+  EXPECT_EQ(sum.peak_rss_kb, 999999);
+  EXPECT_DOUBLE_EQ(sum.peak_pool_busy, 0.875);
+  // Invariant the report check relies on: peak >= every KEPT sample.
+  for (const auto& s : sum.samples) {
+    EXPECT_LE(s.rss_kb, sum.peak_rss_kb);
+    EXPECT_LE(s.pool_busy, sum.peak_pool_busy);
+  }
+}
+
+TEST(ResourceSampler, SummaryDisabledBeforeInit) {
+  obs::ResourceSampler sampler;
+  const auto sum = sampler.summary();
+  EXPECT_FALSE(sum.enabled);
+  EXPECT_TRUE(sum.samples.empty());
+  sampler.stop();  // stop without start is a safe no-op
+  EXPECT_FALSE(sampler.summary().enabled);
+}
+
+// --------------------------------------------------------- real background
+
+TEST(ResourceSampler, BackgroundThreadSamplesAndStops) {
+  obs::ResourceSampler sampler;
+  obs::ResourceSampler::Options opt;
+  opt.tick_ms = 1;
+  sampler.start(opt);
+  EXPECT_TRUE(sampler.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // idempotent
+  const auto sum = sampler.summary();
+  EXPECT_TRUE(sum.enabled);
+  EXPECT_GE(sum.samples_taken, 2);  // forced first + forced final at least
+  EXPECT_GE(sum.samples.size(), 2u);
+  EXPECT_GT(sum.peak_rss_kb, 0);
+  EXPECT_GE(sum.cpu_utime_ms + sum.cpu_stime_ms, 0u);
+  for (std::size_t i = 1; i < sum.samples.size(); ++i)
+    EXPECT_GE(sum.samples[i].t_ms, sum.samples[i - 1].t_ms);
+  for (const auto& s : sum.samples) {
+    EXPECT_GE(s.pool_busy, 0.0);
+    EXPECT_LE(s.pool_busy, 1.0);
+    EXPECT_LE(s.rss_kb, sum.peak_rss_kb);
+  }
+}
+
+TEST(ResourceSampler, PlatformProbesReturnSaneValues) {
+  EXPECT_GT(obs::ResourceSampler::current_rss_kb(), 0);
+  std::uint64_t ut = 0, st = 0;
+  obs::ResourceSampler::cpu_times_ms(&ut, &st);
+  std::uint64_t ut2 = 0, st2 = 0;
+  double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink += i * 0.5;
+  EXPECT_GT(sink, 0.0);
+  obs::ResourceSampler::cpu_times_ms(&ut2, &st2);
+  EXPECT_GE(ut2, ut);  // cumulative counters never move backwards
+  EXPECT_GE(st2, st);
+}
+
+// ----------------------------------------------------------- NDJSON stream
+
+TEST(ResourceSampler, StreamedLinesParseWithDistinctSchema) {
+  const fs::path path =
+      fs::temp_directory_path() / "rp_sampler_stream.ndjson";
+  fs::remove(path);
+  {
+    obs::EventBus bus;
+    ASSERT_TRUE(bus.open_stream(path.string()));
+    obs::ResourceSampler sampler;
+    obs::ResourceSampler::Options opt;
+    opt.tick_ms = 1;
+    opt.stream = &bus;
+    sampler.start(opt);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sampler.stop();  // contract: stop the writer BEFORE close_stream
+    bus.close_stream();
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const JsonValue v = json_parse(line);
+    EXPECT_EQ(v.at("schema").str, "rp_resource");
+    EXPECT_EQ(v.at("v").num, 1.0);
+    EXPECT_GE(v.at("rss_kb").num, 0.0);
+    EXPECT_GE(v.at("pool_busy").num, 0.0);
+    EXPECT_LE(v.at("pool_busy").num, 1.0);
+    EXPECT_FALSE(v.has("seq"));  // never part of the gapless progress seq
+  }
+  EXPECT_GE(lines, 2);
+  fs::remove(path);
+}
+
+TEST(ResourceSampler, NdjsonSerializationShape) {
+  const std::string line = obs::resource_ndjson(synthetic(125, 4096, 0.5));
+  const JsonValue v = json_parse(line);
+  EXPECT_EQ(v.at("schema").str, "rp_resource");
+  EXPECT_EQ(v.at("t_ms").num, 125.0);
+  EXPECT_EQ(v.at("rss_kb").num, 4096.0);
+  EXPECT_DOUBLE_EQ(v.at("pool_busy").num, 0.5);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // caller appends it
+}
+
+// -------------------------------------------------- placement determinism
+
+// The load-bearing property: running the sampler must not change ANY
+// placement bit. Same design, sampler off vs on (aggressive 1 ms tick to
+// maximize interference opportunity), byte-identical coordinates.
+TEST(ResourceSampler, PlacementBytesIdenticalSamplerOnVsOff) {
+  Logger::set_level(LogLevel::Error);
+  auto place = [](bool sample) {
+    auto ctx = std::make_shared<obs::ObsContext>();
+    if (sample) {
+      obs::ResourceSampler::Options so;
+      so.tick_ms = 1;
+      ctx->sampler().start(so);
+    }
+    obs::ScopedBind bind(ctx.get());
+    Design d = generate_benchmark(tiny_spec(29));
+    FlowOptions opt = routability_driven_options();
+    opt.obs = ctx;
+    PlacementFlow flow(opt);
+    flow.run(d);
+    if (sample) ctx->sampler().stop();
+    std::vector<double> coords;
+    coords.reserve(d.cells().size() * 2);
+    for (const auto& c : d.cells()) {
+      coords.push_back(c.pos.x);
+      coords.push_back(c.pos.y);
+    }
+    return coords;
+  };
+  const std::vector<double> off = place(false);
+  const std::vector<double> on = place(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i)
+    EXPECT_EQ(off[i], on[i]) << "coordinate " << i << " differs";
+}
+
+}  // namespace
+}  // namespace rp
