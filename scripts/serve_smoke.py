@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Placement-service smoke test (the serve_smoke ctest).
+
+Boots a real `rp_serve` daemon on a unix socket and drives the wire
+protocol end to end:
+
+  * N=4 concurrent jobs (distinct configs, mixed thread budgets) all
+    complete with status "ok", and every job's out.pl is BYTE-IDENTICAL —
+    and its report.json identical after scrubbing the documented-volatile
+    keys — to a sequential one-shot `routplace` run with the same flags;
+  * a repeat submission of an earlier job reports cache_hit=true, returns
+    the same artifacts, and its streamed live NDJSON progress (op "run"
+    with "progress":true) matches the one-shot --progress-ndjson stream
+    payload-for-payload once the volatile seq/t_ms stamps are dropped;
+  * admission control: on a --jobs 1 --queue 2 server, the over-quota
+    submission is a structured {"type":"reject","reason":"queue_full"} —
+    never a hang or a dropped connection;
+  * protocol robustness: malformed JSON, bad job objects and unknown job
+    ids all get structured error responses on a connection that stays up;
+  * shutdown drains cleanly: exit code 0, socket unlinked.
+
+Usage: serve_smoke.py <rp_serve> <routplace> [--keep]
+Exit code 0 on success; prints every failed expectation otherwise.
+"""
+
+import json
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+FAILURES = []
+
+# Same volatile-key set as check_threads_determinism.py: runtime, memory and
+# host/build provenance move between runs; placement quality must not.
+VOLATILE_KEYS = {
+    "stage_times", "stage_total_sec", "peak_rss_kb", "build", "snapshot_dir",
+    "parallel", "simd", "profile", "resources",
+}
+
+
+def check(cond, what):
+    if not cond:
+        FAILURES.append(what)
+        print(f"FAIL: {what}")
+    return cond
+
+
+def scrub(doc):
+    if isinstance(doc, dict):
+        return {
+            k: scrub(v)
+            for k, v in doc.items()
+            if k not in VOLATILE_KEYS and not k.startswith("parallel.")
+        }
+    if isinstance(doc, list):
+        return [scrub(v) for v in doc]
+    return doc
+
+
+def ndjson_payloads(text):
+    """Deterministic event payloads: drop the volatile seq/t_ms stamps and
+    any non-event schema lines (rp_resource timelines are wall-clock)."""
+    out = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        doc = json.loads(line)
+        if doc.get("schema") != "rp_progress":
+            continue
+        doc.pop("seq", None)
+        doc.pop("t_ms", None)
+        out.append(doc)
+    return out
+
+
+class Client:
+    """One newline-delimited JSON connection to the daemon."""
+
+    def __init__(self, sock_path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(180)
+        self.sock.connect(str(sock_path))
+        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def send_raw(self, line):
+        self.file.write(line + "\n")
+        self.file.flush()
+
+    def recv(self):
+        line = self.file.readline()
+        if not line:
+            raise RuntimeError("server closed the connection")
+        return json.loads(line)
+
+    def rpc(self, obj):
+        self.send_raw(json.dumps(obj))
+        return self.recv()
+
+    def close(self):
+        self.file.close()
+        self.sock.close()
+
+
+def start_server(rp_serve, sock, workdir, jobs, queue, threads, log):
+    proc = subprocess.Popen(
+        [str(rp_serve), "--socket", str(sock), "--dir", str(workdir),
+         "--jobs", str(jobs), "--queue", str(queue), "--threads", str(threads)],
+        stdout=log, stderr=log)
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if sock.exists():
+            try:
+                c = Client(sock)
+                pong = c.rpc({"op": "ping"})
+                c.close()
+                if pong.get("type") == "pong":
+                    return proc
+            except OSError:
+                pass
+        if proc.poll() is not None:
+            raise RuntimeError(f"rp_serve exited early: {proc.returncode}")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("rp_serve socket never came up")
+
+
+def one_shot(routplace, outdir, flags, progress=False):
+    outdir.mkdir(parents=True, exist_ok=True)
+    cmd = [str(routplace)] + flags + [
+        "--out", str(outdir / "out.pl"),
+        "--report-json", str(outdir / "report.json"),
+        "--sample-resources", "0",
+    ]
+    if progress:
+        cmd += ["--progress-ndjson", str(outdir / "progress.ndjson")]
+    r = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL, timeout=240)
+    check(r.returncode == 0, f"one-shot {' '.join(flags)} exited {r.returncode}")
+    return outdir
+
+
+# The four concurrent jobs: distinct configs and budgets, all byte-compared
+# against sequential one-shot runs of the same flags.
+JOBS = [
+    ({"gen": 500, "seed": 3, "rounds": 1, "threads": 1, "label": "a"},
+     ["--gen", "500", "--seed", "3", "--rounds", "1"]),
+    ({"gen": 500, "seed": 4, "rounds": 1, "threads": 2, "label": "b"},
+     ["--gen", "500", "--seed", "4", "--rounds", "1"]),
+    ({"gen": 600, "seed": 3, "rounds": 1, "mode": "wirelength", "threads": 1,
+      "label": "c"},
+     ["--gen", "600", "--seed", "3", "--rounds", "1", "--mode", "wirelength"]),
+    ({"gen": 500, "seed": 5, "rounds": 1, "legalizer": "tetris", "threads": 2,
+      "label": "d"},
+     ["--gen", "500", "--seed", "5", "--rounds", "1", "--legalizer", "tetris"]),
+]
+
+
+def compare_artifacts(tag, serve_dir, ref_dir):
+    serve_pl = (serve_dir / "out.pl").read_bytes()
+    ref_pl = (ref_dir / "out.pl").read_bytes()
+    check(serve_pl == ref_pl, f"{tag}: serve out.pl != one-shot out.pl")
+    serve_rep = scrub(json.loads((serve_dir / "report.json").read_text()))
+    ref_rep = scrub(json.loads((ref_dir / "report.json").read_text()))
+    check(serve_rep == ref_rep, f"{tag}: scrubbed report differs from one-shot")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--keep"]
+    keep = "--keep" in sys.argv
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+    rp_serve, routplace = Path(args[0]), Path(args[1])
+    tmp = Path(tempfile.mkdtemp(prefix="rp_serve_smoke_"))
+    print(f"serve_smoke: working in {tmp}")
+    log = open(tmp / "server.log", "w")
+    try:
+        sock = tmp / "rp.sock"
+        work = tmp / "work"
+        server = start_server(rp_serve, sock, work, jobs=4, queue=8,
+                              threads=4, log=log)
+
+        # ---- phase A: N concurrent jobs vs sequential one-shot runs
+        c = Client(sock)
+        ids = []
+        for job, _ in JOBS:
+            adm = c.rpc({"op": "submit", "job": job})
+            check(adm.get("type") == "accepted", f"submit rejected: {adm}")
+            ids.append(adm.get("job"))
+        statuses = []
+        for jid in ids:
+            st = c.rpc({"op": "wait", "job": jid})
+            statuses.append(st)
+            check(st.get("type") == "status" and st.get("state") == "done",
+                  f"wait({jid}) -> {st}")
+            check(st.get("status") == "ok" and st.get("exit_code") == 0,
+                  f"job {jid} not ok: {st}")
+            check(st.get("cache_hit") is False,
+                  f"first run of {jid} claims a cache hit")
+        for (job, flags), st in zip(JOBS, statuses):
+            ref = one_shot(routplace, tmp / f"ref_{job['label']}", flags)
+            compare_artifacts(f"job {job['label']}", work / "jobs" / st["job"],
+                              ref)
+
+        # ---- phase B: repeat job -> cache hit + streamed progress parity
+        rerun = dict(JOBS[0][0])
+        rerun["progress"] = True
+        c.send_raw(json.dumps({"op": "run", "job": rerun}))
+        adm = c.recv()
+        check(adm.get("type") == "accepted", f"run rejected: {adm}")
+        stream_lines = []
+        result = None
+        while True:
+            doc = c.recv()
+            if doc.get("schema") == "rp_serve":
+                result = doc
+                break
+            stream_lines.append(doc)
+        check(result.get("type") == "result" and result.get("status") == "ok",
+              f"streamed run failed: {result}")
+        check(result.get("cache_hit") is True,
+              "repeat job did not report cache_hit")
+        job_dir = work / "jobs" / result["job"]
+        ref = one_shot(routplace, tmp / "ref_stream", JOBS[0][1], progress=True)
+        compare_artifacts("streamed repeat", job_dir, ref)
+        ref_events = ndjson_payloads((ref / "progress.ndjson").read_text())
+        live_events = [d for d in stream_lines if d.get("schema") == "rp_progress"]
+        for d in live_events:
+            d.pop("seq", None)
+            d.pop("t_ms", None)
+        check(live_events == ref_events,
+              "streamed NDJSON payloads differ from one-shot --progress-ndjson")
+        tee_events = ndjson_payloads((job_dir / "progress.ndjson").read_text())
+        check(tee_events == ref_events,
+              "teed progress.ndjson differs from one-shot stream")
+
+        # ---- phase C: protocol robustness on a live connection
+        bad = c.rpc({"op": "submit", "job": {"bogus": 1}})
+        check(bad.get("type") == "error" and bad.get("error") == "bad_job",
+              f"bad job not rejected structurally: {bad}")
+        c.send_raw("this is not json")
+        err = c.recv()
+        check(err.get("error") == "bad_request", f"garbage line -> {err}")
+        unk = c.rpc({"op": "status", "job": "j9999"})
+        check(unk.get("error") == "unknown_job", f"unknown job -> {unk}")
+        stats = c.rpc({"op": "stats"})
+        check(stats.get("done") == 5, f"expected 5 completed jobs: {stats}")
+        check(stats.get("cache", {}).get("hits", 0) >= 1,
+              f"cache hits missing from stats: {stats}")
+
+        # ---- shutdown drains cleanly
+        ok = c.rpc({"op": "shutdown"})
+        check(ok.get("type") == "ok", f"shutdown -> {ok}")
+        c.close()
+        check(server.wait(timeout=120) == 0,
+              f"server exit code {server.returncode}")
+        check(not sock.exists(), "socket not unlinked after shutdown")
+
+        # ---- phase D: admission control on a tight server
+        sock2 = tmp / "rp2.sock"
+        server2 = start_server(rp_serve, sock2, tmp / "work2", jobs=1,
+                               queue=2, threads=2, log=log)
+        c2 = Client(sock2)
+        slow = {"gen": 1500, "seed": 2, "rounds": 2}
+        accepted = []
+        rejected = None
+        for _ in range(4):
+            adm = c2.rpc({"op": "submit", "job": slow})
+            if adm.get("type") == "accepted":
+                accepted.append(adm["job"])
+            else:
+                rejected = adm
+        check(len(accepted) == 3, f"expected 1 running + 2 queued accepted, "
+              f"got {len(accepted)}")
+        check(rejected is not None and rejected.get("reason") == "queue_full",
+              f"over-quota submit not rejected: {rejected}")
+        for jid in accepted:
+            st = c2.rpc({"op": "wait", "job": jid})
+            check(st.get("status") == "ok", f"queued job {jid} failed: {st}")
+        ok = c2.rpc({"op": "shutdown"})
+        check(ok.get("type") == "ok", f"shutdown2 -> {ok}")
+        c2.close()
+        check(server2.wait(timeout=120) == 0,
+              f"server2 exit code {server2.returncode}")
+    finally:
+        log.close()
+        if FAILURES or keep:
+            print(f"serve_smoke: artifacts kept in {tmp}")
+            print((tmp / "server.log").read_text()[-4000:])
+        else:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    if FAILURES:
+        print(f"\nserve_smoke: {len(FAILURES)} failure(s)")
+        return 1
+    print("serve_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -140,7 +140,15 @@ FlowResult PlacementFlow::run(Design& d) {
       {
         ScopedStage te(r.times, "estimate");
         RP_TRACE_SPAN("detailed/estimate");
-        estimate_probabilistic(d, rg);
+        if (opt_.design_csr != nullptr) {
+          // Cached flatten (rp_serve): copy the topology template instead of
+          // rebuilding it; the estimator gathers coordinates per eval, so
+          // the result is byte-identical to the from-scratch path.
+          NetlistCsr csr = *opt_.design_csr;
+          estimate_probabilistic(d, csr, rg);
+        } else {
+          estimate_probabilistic(d, rg);
+        }
       }
       double w = opt_.dp_congestion_weight;
       if (w <= 0.0) w = 2.0 * d.row_height();

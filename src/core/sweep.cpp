@@ -1,6 +1,7 @@
 #include "core/sweep.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -302,6 +303,8 @@ std::string sweep_status_name(int exit_code) {
     case 5: return "NumericError";
     case 6: return "ResourceError";
     case 7: return "Interrupted";
+    case kSpawnRedirectFailed: return "spawn_redirect_failed";
+    case kSpawnExecFailed: return "spawn_exec_failed";
     default: break;
   }
   if (exit_code >= 128) return "signal_" + std::to_string(exit_code - 128);
@@ -469,17 +472,23 @@ pid_t spawn_run(const std::string& routplace, const SweepRun& run,
 
   // Child: redirect stdio into the run directory, point RP_BENCH_JSON
   // there, exec. Only async-signal-safe-ish calls between fork and exec.
+  // A failed redirect is fatal (kSpawnRedirectFailed, distinct from 127 =
+  // exec failed): silently inheriting the parent's stdio would interleave
+  // this child's output with the orchestrator's own. The originals are
+  // closed after dup2 so no stray descriptors leak into the exec'd image.
   const int ofd = ::open(out_log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (ofd >= 0) ::dup2(ofd, 1);
+  if (ofd < 0 || ::dup2(ofd, 1) < 0) ::_exit(kSpawnRedirectFailed);
+  ::close(ofd);
   const int efd = ::open(err_log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (efd >= 0) ::dup2(efd, 2);
+  if (efd < 0 || ::dup2(efd, 2) < 0) ::_exit(kSpawnRedirectFailed);
+  ::close(efd);
   ::setenv("RP_BENCH_JSON", bench.c_str(), 1);
   std::vector<char*> argv;
   argv.reserve(argv_s.size() + 1);
   for (std::string& s : argv_s) argv.push_back(s.data());
   argv.push_back(nullptr);
   ::execv(routplace.c_str(), argv.data());
-  ::_exit(127);  // exec failed
+  ::_exit(kSpawnExecFailed);
 }
 
 #endif  // RP_SWEEP_POSIX
@@ -565,10 +574,20 @@ SweepOutcome run_campaign(const SweepOptions& opt) {
       live.push_back({pid, i});
       ++out.executed;
     }
+    // Reap the next child. waitpid() can be aborted by ANY signal delivered
+    // to this process (a stray SIGUSR1, a debugger attach, a terminal
+    // resize...) — EINTR here is routine, not an error, and must not abort
+    // an hours-long campaign. ECHILD while we still track live children IS
+    // a real error (something else reaped them — our bookkeeping is gone).
     int stat = 0;
-    const pid_t done = ::waitpid(-1, &stat, 0);
-    if (done < 0)
-      throw Error(ErrorCode::ResourceError, "waitpid() failed mid-campaign");
+    pid_t done = -1;
+    while ((done = ::waitpid(-1, &stat, 0)) < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorCode::ResourceError,
+                  std::string("waitpid() failed mid-campaign (") +
+                      std::strerror(errno) + ", " +
+                      std::to_string(live.size()) + " child(ren) in flight)");
+    }
     for (std::size_t c = 0; c < live.size(); ++c) {
       if (live[c].pid != done) continue;
       const std::size_t i = live[c].idx;

@@ -108,9 +108,16 @@ SweepSpec parse_sweep_spec(const std::string& text, const std::string& where);
 /// innermost. Calling twice yields identical vectors.
 std::vector<SweepRun> expand_grid(const SweepSpec& spec);
 
+/// Child-process self-reported failures on the fork/exec path (shell
+/// convention territory, deliberately above the taxonomy's 3..7): the child
+/// could not redirect its stdio into the run directory, or execv failed.
+inline constexpr int kSpawnRedirectFailed = 126;
+inline constexpr int kSpawnExecFailed = 127;
+
 /// Exit code -> stable status name: 0 "ok", 1 "not_legal", 2 "usage_error",
-/// 3..7 the error-taxonomy code names ("ParseError", ...), 128+N
-/// "signal_N", anything else "failed_<code>".
+/// 3..7 the error-taxonomy code names ("ParseError", ...), 126/127
+/// "spawn_redirect_failed"/"spawn_exec_failed", 128+N "signal_N", anything
+/// else "failed_<code>".
 std::string sweep_status_name(int exit_code);
 
 /// Serialize the campaign manifest (schema "rp_campaign" v1). Deterministic:

@@ -1,5 +1,6 @@
 #include "util/event_bus.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -162,13 +163,21 @@ Event EventBus::make(EventKind kind, const char* label) const {
   return e;
 }
 
-namespace {
-
-bool write_all(int fd, const char* data, std::size_t n) {
+bool write_all_fd(int fd, const char* data, std::size_t n) {
 #ifdef RP_OBS_POSIX
+  // The sink fds here are pipes, sockets and regular files shared with slow
+  // readers (a tailing dashboard, an rp_serve client): short writes are
+  // ROUTINE once a line straddles the pipe/socket buffer boundary, and any
+  // signal (SIGCHLD from a campaign child, a profiler timer) can abort the
+  // write with EINTR before OR after a partial transfer. Loop until the
+  // whole buffer is out; only a real error (EPIPE on a vanished reader,
+  // EBADF) fails the write. Async-signal-safe: write() + errno only.
   while (n > 0) {
     const ssize_t w = ::write(fd, data, n);
-    if (w < 0) return false;
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
     data += w;
     n -= static_cast<std::size_t>(w);
   }
@@ -180,6 +189,12 @@ bool write_all(int fd, const char* data, std::size_t n) {
   std::fflush(f);
   return ok;
 #endif
+}
+
+namespace {
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  return write_all_fd(fd, data, n);
 }
 
 }  // namespace

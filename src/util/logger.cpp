@@ -1,16 +1,24 @@
 #include "util/logger.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace rp {
 
 namespace {
 
-LogLevel g_level = LogLevel::Info;
-bool g_env_forced = false;
+// The logger used to be main-thread-only by contract; rp_serve runs
+// concurrent placement jobs that all log, so the level is atomic (relaxed —
+// it is a filter, not a synchronization point) and each message is formatted
+// into one buffer and written with a single locked fwrite so lines from
+// different jobs never interleave mid-line.
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::atomic<bool> g_env_forced{false};
+std::once_flag g_env_once;
 
 using Clock = std::chrono::steady_clock;
 
@@ -41,11 +49,7 @@ bool parse_level(const char* s, LogLevel& out) {
 }
 
 void ensure_env_read() {
-  static bool done = false;
-  if (!done) {
-    done = true;
-    Logger::init_from_env();
-  }
+  std::call_once(g_env_once, [] { Logger::init_from_env(); });
 }
 
 }  // namespace
@@ -53,15 +57,15 @@ void ensure_env_read() {
 void Logger::init_from_env() {
   const char* e = std::getenv("RP_LOG_LEVEL");
   if (e == nullptr || e[0] == '\0') {
-    g_env_forced = false;
+    g_env_forced.store(false, std::memory_order_relaxed);
     return;
   }
   LogLevel lv;
   if (parse_level(e, lv)) {
-    g_level = lv;
-    g_env_forced = true;
+    g_level.store(static_cast<int>(lv), std::memory_order_relaxed);
+    g_env_forced.store(true, std::memory_order_relaxed);
   } else {
-    g_env_forced = false;
+    g_env_forced.store(false, std::memory_order_relaxed);
     std::fprintf(stderr, "[%9.3fs] [WARN ] RP_LOG_LEVEL='%s' not recognized "
                  "(use debug|info|warn|error|silent)\n", elapsed_seconds(), e);
   }
@@ -73,24 +77,31 @@ double Logger::elapsed_seconds() {
 
 LogLevel Logger::level() {
   ensure_env_read();
-  return g_level;
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
 void Logger::set_level(LogLevel lv) {
   ensure_env_read();
-  if (g_env_forced) return;  // the environment override wins
-  g_level = lv;
+  if (g_env_forced.load(std::memory_order_relaxed)) return;  // override wins
+  g_level.store(static_cast<int>(lv), std::memory_order_relaxed);
 }
 
 void Logger::log(LogLevel lv, const char* fmt, ...) {
   ensure_env_read();
-  if (static_cast<int>(lv) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%9.3fs] [%s] ", elapsed_seconds(), tag(lv));
+  if (static_cast<int>(lv) < g_level.load(std::memory_order_relaxed)) return;
+  char buf[2048];
+  int n = std::snprintf(buf, sizeof(buf), "[%9.3fs] [%s] ",
+                        elapsed_seconds(), tag(lv));
+  if (n < 0) return;
   va_list ap;
   va_start(ap, fmt);
-  std::vfprintf(stderr, fmt, ap);
+  const int m = std::vsnprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n) - 1,
+                               fmt, ap);
   va_end(ap);
-  std::fputc('\n', stderr);
+  if (m > 0) n += m;
+  if (n > static_cast<int>(sizeof(buf)) - 2) n = static_cast<int>(sizeof(buf)) - 2;
+  buf[n++] = '\n';
+  std::fwrite(buf, 1, static_cast<std::size_t>(n), stderr);
 }
 
 }  // namespace rp

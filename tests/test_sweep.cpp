@@ -6,8 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/sweep.hpp"
@@ -238,6 +246,74 @@ TEST(SweepResume, StatusRecordsExitCode) {
   EXPECT_NE(status.find("\"exit_code\": 6"), std::string::npos);
   EXPECT_NE(status.find("\"rp_run_status\""), std::string::npos);
   EXPECT_TRUE(run_status_matches(status, results[0].run));
+}
+
+// --------------------------------------------------- waitpid EINTR contract
+
+TEST(SweepCampaign, WaitLoopSurvivesSignalStorm) {
+  // Regression: run_campaign's reap loop used to treat an EINTR'd waitpid()
+  // as a vanished child. Park children in sleep(2) so the campaign thread
+  // is INSIDE waitpid() while a storm of no-op SIGUSR1s (handler installed
+  // WITHOUT SA_RESTART, so the syscall really returns EINTR) hits it; the
+  // campaign must still reap every child and record every result.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "rp_sweep_eintr_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path fake = dir / "fake_routplace";
+  {
+    std::ofstream out(fake);
+    out << "#!/bin/sh\nsleep 0.3\nexit 0\n";
+  }
+  fs::permissions(fake, fs::perms::owner_all, fs::perm_options::add);
+  const fs::path spec = dir / "spec.json";
+  {
+    std::ofstream out(spec);
+    out << R"({"name": "eintr", "base": {"gen": 100}, "seeds": [1, 2, 3, 4]})";
+  }
+
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  std::atomic<bool> done{false};
+  const pthread_t victim = pthread_self();
+  std::thread storm([&] {
+    while (!done.load()) {
+      pthread_kill(victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  SweepOptions opt;
+  opt.spec_path = spec.string();
+  opt.out_dir = (dir / "campaign").string();
+  opt.routplace = fake.string();
+  opt.jobs = 2;
+  SweepOutcome outcome;
+  try {
+    outcome = run_campaign(opt);
+  } catch (const Error& e) {
+    done.store(true);
+    storm.join();
+    ::sigaction(SIGUSR1, &old, nullptr);
+    FAIL() << "run_campaign threw under signal storm: " << e.what();
+  }
+  done.store(true);
+  storm.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+
+  EXPECT_EQ(outcome.executed, 4);
+  ASSERT_EQ(outcome.results.size(), 4u);
+  for (const SweepRunResult& r : outcome.results) {
+    EXPECT_FALSE(r.skipped);
+    EXPECT_EQ(r.exit_code, 0) << r.run.id;  // every child reaped, none lost
+    EXPECT_EQ(r.status, "ok");
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace
